@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The twelve applications of the paper's evaluation (§4), implemented
+//! against the [`dsm_core::Dsm`] API: eight SPLASH-2-derived benchmarks,
+//! several in restructured versions.
+//!
+//! | Program | Versions |
+//! |---|---|
+//! | LU | contiguous blocks |
+//! | FFT | six-step |
+//! | Ocean | original (square subgrids), rowwise |
+//! | Water-Nsquared | — |
+//! | Water-Spatial | — |
+//! | Volrend | original (4×4 tiles), rowwise |
+//! | Raytrace | — |
+//! | Barnes | original, partree, spatial |
+//!
+//! Problem sizes are scaled down from the paper's (documented in
+//! EXPERIMENTS.md); the [`registry`] provides the standard benchmark sizes
+//! and smaller test sizes.
+
+pub mod barnes;
+pub mod fft;
+pub mod lu;
+pub mod ocean;
+pub mod raytrace;
+pub mod registry;
+pub mod util;
+pub mod volrend;
+pub mod water_nsq;
+pub mod water_spatial;
+
+pub use barnes::{Barnes, BarnesVariant};
+pub use fft::Fft;
+pub use lu::Lu;
+pub use ocean::{OceanOriginal, OceanRowwise};
+pub use raytrace::Raytrace;
+pub use registry::{all_app_names, app, app_sized, AppSize};
+pub use volrend::{VolrendOriginal, VolrendRowwise};
+pub use water_nsq::WaterNsq;
+pub use water_spatial::WaterSpatial;

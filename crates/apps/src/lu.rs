@@ -1,0 +1,320 @@
+//! LU: blocked dense LU factorization (SPLASH-2, contiguous-blocks
+//! version).
+//!
+//! Each `b × b` block is stored contiguously in shared memory and owned by
+//! one processor under a 2-D scatter decomposition — the classic
+//! single-writer, coarse-grain-access application. No pivoting (the matrix
+//! is made diagonally dominant), so the parallel result is bit-identical to
+//! the sequential one.
+
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+
+use crate::util::{XorShift, FLOP_NS};
+
+/// Blocked LU factorization program.
+pub struct Lu {
+    /// Matrix dimension (n × n doubles).
+    pub n: usize,
+    /// Block dimension.
+    pub b: usize,
+    nb: usize,
+}
+
+impl Lu {
+    /// Scaled-down default (paper: 1024×1024, here 256×256 with 16×16
+    /// blocks).
+    pub fn new(n: usize, b: usize) -> Self {
+        assert_eq!(n % b, 0, "block size must divide n");
+        Lu { n, b, nb: n / b }
+    }
+
+    /// Blocks are grouped by their (fixed 4×4-scatter) owner and laid out
+    /// contiguously per owner — the SPLASH-2 contiguous-blocks allocation
+    /// the paper uses, which keeps every page single-writer.
+    fn block_addr(&self, bi: usize, bj: usize) -> usize {
+        let owner = (bi % 4) * 4 + (bj % 4);
+        let per_side = self.nb.div_ceil(4);
+        let slot = (bi / 4) * per_side + (bj / 4);
+        (owner * per_side * per_side + slot) * self.b * self.b * 8
+    }
+
+    fn owner(&self, bi: usize, bj: usize, p: usize) -> usize {
+        // 2-D scatter over a pr × pc grid of processors.
+        let (pr, pc) = proc_grid(p);
+        (bi % pr) * pc + (bj % pc)
+    }
+
+    fn read_block(&self, d: &mut dyn Dsm, bi: usize, bj: usize, out: &mut [f64]) {
+        d.read_f64s(self.block_addr(bi, bj), out);
+    }
+
+    fn write_block(&self, d: &mut dyn Dsm, bi: usize, bj: usize, vals: &[f64]) {
+        d.write_f64s(self.block_addr(bi, bj), vals);
+    }
+}
+
+/// Factor processors into the most square pr × pc grid.
+fn proc_grid(p: usize) -> (usize, usize) {
+    let mut pr = (p as f64).sqrt() as usize;
+    while !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr, p / pr)
+}
+
+impl DsmProgram for Lu {
+    fn name(&self) -> String {
+        "lu".into()
+    }
+
+    fn shared_bytes(&self) -> usize {
+        let per_side = self.nb.div_ceil(4);
+        16 * per_side * per_side * self.b * self.b * 8
+    }
+
+    fn poll_inflation_pct(&self) -> u32 {
+        // Paper §5.4: LU with polling instrumentation runs 55% slower on
+        // one processor.
+        55
+    }
+
+    fn warmup(&self, d: &mut dyn Dsm) {
+        // Touch-array phase: each processor touches the blocks it owns so
+        // they are homed locally before measurement (paper §2).
+        let p = d.num_nodes();
+        let me = d.node();
+        for bi in 0..self.nb {
+            for bj in 0..self.nb {
+                if self.owner(bi, bj, p) == me {
+                    touch_region(d, self.block_addr(bi, bj), self.b * self.b * 8);
+                }
+            }
+        }
+    }
+
+    fn init(&self, mem: &mut MemImage) {
+        let mut rng = XorShift::new(0x1_u64);
+        // Diagonally dominant so that unpivoted LU is stable.
+        for bi in 0..self.nb {
+            for bj in 0..self.nb {
+                let base = self.block_addr(bi, bj);
+                for r in 0..self.b {
+                    for c in 0..self.b {
+                        let (gi, gj) = (bi * self.b + r, bj * self.b + c);
+                        let mut v = rng.range_f64(-1.0, 1.0);
+                        if gi == gj {
+                            v += self.n as f64;
+                        }
+                        mem.write_f64(base + (r * self.b + c) * 8, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(&self, d: &mut dyn Dsm) {
+        let me = d.node();
+        let p = d.num_nodes();
+        let (b, nb) = (self.b, self.nb);
+        let bb = b * b;
+        let mut kk = vec![0.0f64; bb];
+        let mut blk = vec![0.0f64; bb];
+        let mut other = vec![0.0f64; bb];
+
+        for k in 0..nb {
+            // Factor the diagonal block.
+            if self.owner(k, k, p) == me {
+                self.read_block(d, k, k, &mut kk);
+                lu0(&mut kk, b);
+                self.write_block(d, k, k, &kk);
+                d.compute((2 * bb * b / 3) as u64 * FLOP_NS);
+            }
+            d.barrier(0);
+            // Perimeter blocks.
+            let mut have_kk = false;
+            for j in k + 1..nb {
+                if self.owner(k, j, p) == me {
+                    if !have_kk {
+                        self.read_block(d, k, k, &mut kk);
+                        have_kk = true;
+                    }
+                    self.read_block(d, k, j, &mut blk);
+                    bdiv(&kk, &mut blk, b);
+                    self.write_block(d, k, j, &blk);
+                    d.compute((bb * b) as u64 * FLOP_NS);
+                }
+            }
+            for i in k + 1..nb {
+                if self.owner(i, k, p) == me {
+                    if !have_kk {
+                        self.read_block(d, k, k, &mut kk);
+                        have_kk = true;
+                    }
+                    self.read_block(d, i, k, &mut blk);
+                    bmodd(&kk, &mut blk, b);
+                    self.write_block(d, i, k, &blk);
+                    d.compute((bb * b) as u64 * FLOP_NS);
+                }
+            }
+            d.barrier(0);
+            // Interior updates.
+            for i in k + 1..nb {
+                for j in k + 1..nb {
+                    if self.owner(i, j, p) == me {
+                        self.read_block(d, i, k, &mut kk);
+                        self.read_block(d, k, j, &mut other);
+                        self.read_block(d, i, j, &mut blk);
+                        bmod(&kk, &other, &mut blk, b);
+                        self.write_block(d, i, j, &blk);
+                        d.compute((2 * bb * b) as u64 * FLOP_NS);
+                    }
+                }
+            }
+            d.barrier(0);
+        }
+        d.barrier(0);
+    }
+}
+
+/// In-place unpivoted LU of one block.
+fn lu0(a: &mut [f64], b: usize) {
+    for c in 0..b {
+        let pivot = a[c * b + c];
+        for r in c + 1..b {
+            a[r * b + c] /= pivot;
+            let l = a[r * b + c];
+            for j in c + 1..b {
+                a[r * b + j] -= l * a[c * b + j];
+            }
+        }
+    }
+}
+
+/// Solve L(kk) · X = blk in place (perimeter row blocks).
+fn bdiv(kk: &[f64], blk: &mut [f64], b: usize) {
+    for c in 0..b {
+        for r in c + 1..b {
+            let l = kk[r * b + c];
+            for j in 0..b {
+                blk[r * b + j] -= l * blk[c * b + j];
+            }
+        }
+    }
+}
+
+/// Solve X · U(kk) = blk in place (perimeter column blocks).
+fn bmodd(kk: &[f64], blk: &mut [f64], b: usize) {
+    for c in 0..b {
+        let pivot = kk[c * b + c];
+        for r in 0..b {
+            blk[r * b + c] /= pivot;
+            let x = blk[r * b + c];
+            for j in c + 1..b {
+                blk[r * b + j] -= x * kk[c * b + j];
+            }
+        }
+    }
+}
+
+/// Interior update: blk -= ik · kj.
+fn bmod(ik: &[f64], kj: &[f64], blk: &mut [f64], b: usize) {
+    for r in 0..b {
+        for c in 0..b {
+            let x = ik[r * b + c];
+            if x != 0.0 {
+                for j in 0..b {
+                    blk[r * b + j] -= x * kj[c * b + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_grid_is_square_for_16() {
+        assert_eq!(proc_grid(16), (4, 4));
+        assert_eq!(proc_grid(1), (1, 1));
+        assert_eq!(proc_grid(8), (2, 4));
+    }
+
+    #[test]
+    fn lu0_factors_small_matrix() {
+        // A = L·U for a 2x2: [[4,2],[2,3]] -> L21=0.5, U=[[4,2],[0,2]]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        lu0(&mut a, 2);
+        assert_eq!(a, vec![4.0, 2.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn blocked_equals_unblocked() {
+        // Factor an 8x8 matrix with the blocked kernels (b=4) and compare
+        // against plain lu0 on the whole matrix.
+        let n = 8;
+        let mut rng = XorShift::new(3);
+        let mut full = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                full[i * n + j] = rng.range_f64(-1.0, 1.0) + if i == j { 8.0 } else { 0.0 };
+            }
+        }
+        let mut expect = full.clone();
+        lu0(&mut expect, n);
+
+        // Blocked: 2x2 grid of 4x4 blocks.
+        let b = 4;
+        let nb = 2;
+        let get = |m: &Vec<f64>, bi: usize, bj: usize| -> Vec<f64> {
+            let mut out = vec![0.0; b * b];
+            for r in 0..b {
+                for c in 0..b {
+                    out[r * b + c] = m[(bi * b + r) * n + (bj * b + c)];
+                }
+            }
+            out
+        };
+        let put = |m: &mut Vec<f64>, bi: usize, bj: usize, blk: &Vec<f64>| {
+            for r in 0..b {
+                for c in 0..b {
+                    m[(bi * b + r) * n + (bj * b + c)] = blk[r * b + c];
+                }
+            }
+        };
+        let mut m = full.clone();
+        for k in 0..nb {
+            let mut kk = get(&m, k, k);
+            lu0(&mut kk, b);
+            put(&mut m, k, k, &kk);
+            for j in k + 1..nb {
+                let mut kj = get(&m, k, j);
+                bdiv(&kk, &mut kj, b);
+                put(&mut m, k, j, &kj);
+            }
+            for i in k + 1..nb {
+                let mut ik = get(&m, i, k);
+                bmodd(&kk, &mut ik, b);
+                put(&mut m, i, k, &ik);
+            }
+            for i in k + 1..nb {
+                let ik = get(&m, i, k);
+                for j in k + 1..nb {
+                    let kj = get(&m, k, j);
+                    let mut ij = get(&m, i, j);
+                    bmod(&ik, &kj, &mut ij, b);
+                    put(&mut m, i, j, &ij);
+                }
+            }
+        }
+        for i in 0..n * n {
+            assert!(
+                (m[i] - expect[i]).abs() < 1e-9,
+                "mismatch at {i}: {} vs {}",
+                m[i],
+                expect[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Registry of the twelve applications at standard (benchmark) and small
+//! (test) problem sizes.
+
+use std::sync::Arc;
+
+use dsm_core::Program;
+
+use crate::barnes::{Barnes, BarnesVariant};
+use crate::fft::Fft;
+use crate::lu::Lu;
+use crate::ocean::{OceanOriginal, OceanRowwise};
+use crate::raytrace::Raytrace;
+use crate::volrend::{VolrendOriginal, VolrendRowwise};
+use crate::water_nsq::WaterNsq;
+use crate::water_spatial::WaterSpatial;
+
+/// Problem-size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSize {
+    /// Benchmark sizes: scaled down from the paper's so a full protocol ×
+    /// granularity sweep completes in minutes of real time, but large
+    /// enough that the sharing patterns dominate.
+    Standard,
+    /// Small sizes for the test suite.
+    Small,
+}
+
+/// Names of all twelve applications, in the paper's presentation order.
+pub fn all_app_names() -> [&'static str; 12] {
+    [
+        "lu",
+        "ocean-rowwise",
+        "ocean-original",
+        "fft",
+        "water-nsquared",
+        "volrend-rowwise",
+        "volrend-original",
+        "water-spatial",
+        "raytrace",
+        "barnes-spatial",
+        "barnes-partree",
+        "barnes-original",
+    ]
+}
+
+/// Construct an application at a given size class.
+pub fn app_sized(name: &str, size: AppSize) -> Option<Program> {
+    let std = size == AppSize::Standard;
+    Some(match name {
+        "lu" => {
+            if std {
+                Arc::new(Lu::new(512, 16))
+            } else {
+                Arc::new(Lu::new(64, 8))
+            }
+        }
+        "fft" => {
+            if std {
+                Arc::new(Fft::new(128))
+            } else {
+                Arc::new(Fft::new(32))
+            }
+        }
+        "ocean-original" => {
+            if std {
+                Arc::new(OceanOriginal::new(256, 6))
+            } else {
+                Arc::new(OceanOriginal::new(64, 2))
+            }
+        }
+        "ocean-rowwise" => {
+            if std {
+                Arc::new(OceanRowwise::new(256, 6))
+            } else {
+                Arc::new(OceanRowwise::new(64, 2))
+            }
+        }
+        "water-nsquared" => {
+            if std {
+                Arc::new(WaterNsq::new(512, 2))
+            } else {
+                Arc::new(WaterNsq::new(64, 1))
+            }
+        }
+        "water-spatial" => {
+            if std {
+                Arc::new(WaterSpatial::new(4, 512, 2))
+            } else {
+                Arc::new(WaterSpatial::new(3, 96, 1))
+            }
+        }
+        "volrend-original" => {
+            if std {
+                Arc::new(VolrendOriginal::new(96))
+            } else {
+                Arc::new(VolrendOriginal::new(32))
+            }
+        }
+        "volrend-rowwise" => {
+            if std {
+                Arc::new(VolrendRowwise::new(96))
+            } else {
+                Arc::new(VolrendRowwise::new(32))
+            }
+        }
+        "raytrace" => {
+            if std {
+                Arc::new(Raytrace::new(96))
+            } else {
+                Arc::new(Raytrace::new(32))
+            }
+        }
+        "barnes-original" => {
+            if std {
+                Arc::new(Barnes::new(1024, 2, BarnesVariant::Original))
+            } else {
+                Arc::new(Barnes::new(128, 1, BarnesVariant::Original))
+            }
+        }
+        "barnes-partree" => {
+            if std {
+                Arc::new(Barnes::new(1024, 2, BarnesVariant::Partree))
+            } else {
+                Arc::new(Barnes::new(128, 1, BarnesVariant::Partree))
+            }
+        }
+        "barnes-spatial" => {
+            if std {
+                Arc::new(Barnes::new(1024, 2, BarnesVariant::Spatial))
+            } else {
+                Arc::new(Barnes::new(128, 1, BarnesVariant::Spatial))
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Construct an application at the standard benchmark size.
+pub fn app(name: &str) -> Option<Program> {
+    app_sized(name, AppSize::Standard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_constructs() {
+        for name in all_app_names() {
+            let a = app(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(a.name(), name);
+            let b = app_sized(name, AppSize::Small).unwrap();
+            assert_eq!(b.name(), name);
+            assert!(b.shared_bytes() <= a.shared_bytes());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(app("mandelbrot").is_none());
+    }
+}

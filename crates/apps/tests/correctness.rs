@@ -1,0 +1,41 @@
+//! Every application, at test size, must produce the sequential result
+//! under every protocol (two granularity extremes, polling).
+
+use dsm_apps::registry::{app_sized, AppSize};
+use dsm_core::{run_checked, Protocol, RunConfig};
+
+fn check_app(name: &str) {
+    for protocol in Protocol::ALL {
+        for block in [64usize, 4096] {
+            let program = app_sized(name, AppSize::Small).expect("app exists");
+            let cfg = RunConfig::new(protocol, block);
+            let r = run_checked(&cfg, program);
+            assert!(
+                r.stats.parallel_time_ns > 0,
+                "{name} {protocol:?}@{block}: zero parallel time"
+            );
+        }
+    }
+}
+
+macro_rules! app_test {
+    ($fn_name:ident, $app:expr) => {
+        #[test]
+        fn $fn_name() {
+            check_app($app);
+        }
+    };
+}
+
+app_test!(lu_correct, "lu");
+app_test!(fft_correct, "fft");
+app_test!(ocean_original_correct, "ocean-original");
+app_test!(ocean_rowwise_correct, "ocean-rowwise");
+app_test!(water_nsquared_correct, "water-nsquared");
+app_test!(water_spatial_correct, "water-spatial");
+app_test!(volrend_original_correct, "volrend-original");
+app_test!(volrend_rowwise_correct, "volrend-rowwise");
+app_test!(raytrace_correct, "raytrace");
+app_test!(barnes_original_correct, "barnes-original");
+app_test!(barnes_partree_correct, "barnes-partree");
+app_test!(barnes_spatial_correct, "barnes-spatial");

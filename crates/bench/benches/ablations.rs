@@ -1,0 +1,161 @@
+//! Ablations of the design choices DESIGN.md calls out: first-touch home
+//! migration, the interrupt grace window (delayed-consistency effect), and
+//! the polling instrumentation overhead.
+
+use dsm_apps::registry::app;
+use dsm_core::{run_experiment, Notify, Protocol, RunConfig};
+use dsm_stats::Table;
+
+fn main() {
+    first_touch_vs_static_homes();
+    interrupt_grace_window_sweep();
+    polling_inflation_sweep();
+    delayed_consistency_sweep();
+}
+
+/// The paper's §7 future work: a delayed-consistency SC variant that defers
+/// invalidations by a fixed window without adding synchronization-point
+/// protocol work. Sweeping the window on a false-sharing application shows
+/// the Dubois-style benefit (and its limit) under plain polling.
+fn delayed_consistency_sweep() {
+    println!("\n== Extension ablation: delayed-consistency window (SC polling, volrend-original @4096) ==\n");
+    let mut t = Table::new(&["Delay (us)", "Speedup", "Faults"]);
+    let mut best = (0u64, 0.0f64);
+    for delay_us in [0u64, 100, 500, 2000] {
+        let mut cfg = RunConfig::new(Protocol::Sc, 4096);
+        cfg.cost.delayed_inval_ns = delay_us * 1000;
+        let r = run_experiment(&cfg, app("volrend-original").unwrap());
+        assert!(r.check.is_ok(), "delayed consistency must preserve SC results");
+        let tot = r.stats.totals();
+        if r.speedup() > best.1 {
+            best = (delay_us, r.speedup());
+        }
+        t.row(&[
+            delay_us.to_string(),
+            format!("{:.2}", r.speedup()),
+            (tot.read_faults + tot.write_faults).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("best window: {} us (0 = plain SC)", best.0);
+    println!("unlike the interrupt grace window (which defers opportunistically),");
+    println!("a fixed deferral sits on the writer's ack critical path, so the");
+    println!("batching gain is mostly cancelled — matching why Dubois-style");
+    println!("protocols delay *eager* invalidations rather than ack-counted ones");
+}
+
+/// First-touch homing places each block at the node that uses it; static
+/// round-robin scatters homes arbitrarily, forcing remote traffic even for
+/// node-private data.
+fn first_touch_vs_static_homes() {
+    println!("== Ablation: first-touch vs static home assignment ==\n");
+    let mut t = Table::new(&["App", "Protocol", "first-touch", "static", "ratio"]);
+    for (name, proto) in [
+        ("lu", Protocol::Sc),
+        ("lu", Protocol::Hlrc),
+        ("ocean-rowwise", Protocol::Hlrc),
+        ("water-nsquared", Protocol::Hlrc),
+    ] {
+        let ft = run_experiment(&RunConfig::new(proto, 4096), app(name).unwrap());
+        let st = run_experiment(
+            &RunConfig::new(proto, 4096).with_static_homes(),
+            app(name).unwrap(),
+        );
+        assert!(ft.check.is_ok() && st.check.is_ok());
+        t.row(&[
+            name.to_string(),
+            proto.name().to_string(),
+            format!("{:.2}", ft.speedup()),
+            format!("{:.2}", st.speedup()),
+            format!("{:.2}x", ft.speedup() / st.speedup()),
+        ]);
+        // First touch must win where data is node-private (LU's blocks,
+        // Ocean's rows). For migratory data (Water-Nsquared) home placement
+        // is a wash — the diff/fetch targets rotate anyway — so that row is
+        // reported, not asserted.
+        if name != "water-nsquared" {
+            assert!(
+                ft.speedup() > st.speedup(),
+                "{name}/{proto:?}: first touch must beat static homes"
+            );
+        }
+    }
+    println!("{}", t.render());
+}
+
+/// The §5.4 delayed-consistency effect: widening the interrupt grace window
+/// suppresses the SC ping-pong, up to the point where deferred service
+/// hurts latency-critical requests.
+fn interrupt_grace_window_sweep() {
+    println!("== Ablation: interrupt grace window (SC, volrend-original @4096) ==\n");
+    let mut t = Table::new(&["Grace (us)", "Speedup", "Faults"]);
+    for grace_us in [0u64, 50, 200, 1000] {
+        let mut cfg = RunConfig::new(Protocol::Sc, 4096).with_notify(Notify::Interrupt);
+        cfg.cost.intr_grace_ns = grace_us * 1000;
+        let r = run_experiment(&cfg, app("volrend-original").unwrap());
+        assert!(r.check.is_ok());
+        let tot = r.stats.totals();
+        t.row(&[
+            grace_us.to_string(),
+            format!("{:.2}", r.speedup()),
+            (tot.read_faults + tot.write_faults).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the paper reports miss reductions to 4-70% of the polling case)");
+}
+
+/// LU's published 55% polling slowdown is the dominant term in Figure 2's
+/// interrupt win; sweep it to show the crossover.
+fn polling_inflation_sweep() {
+    println!("\n== Ablation: polling instrumentation overhead (LU SC@4096) ==\n");
+    let intr = run_experiment(
+        &RunConfig::new(Protocol::Sc, 4096).with_notify(Notify::Interrupt),
+        app("lu").unwrap(),
+    );
+    println!("interrupt baseline: {:.2}\n", intr.speedup());
+    let mut t = Table::new(&["Inflation %", "Polling speedup", "vs interrupt"]);
+    // The app reports 55%; override through the cost model default by
+    // wrapping the program.
+    struct InflationOverride(dsm_core::Program, u32);
+    impl dsm_core::DsmProgram for InflationOverride {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn shared_bytes(&self) -> usize {
+            self.0.shared_bytes()
+        }
+        fn init(&self, mem: &mut dsm_core::MemImage) {
+            self.0.init(mem)
+        }
+        fn warmup(&self, d: &mut dyn dsm_core::Dsm) {
+            self.0.warmup(d)
+        }
+        fn run(&self, d: &mut dyn dsm_core::Dsm) {
+            self.0.run(d)
+        }
+        fn poll_inflation_pct(&self) -> u32 {
+            self.1
+        }
+        fn check(
+            &self,
+            seq: &dsm_core::MemImage,
+            par: &dsm_core::MemImage,
+        ) -> Result<(), String> {
+            self.0.check(seq, par)
+        }
+    }
+    for pct in [0u32, 15, 35, 55] {
+        let prog = std::sync::Arc::new(InflationOverride(app("lu").unwrap(), pct));
+        let r = run_experiment(&RunConfig::new(Protocol::Sc, 4096), prog);
+        assert!(r.check.is_ok());
+        t.row(&[
+            pct.to_string(),
+            format!("{:.2}", r.speedup()),
+            format!("{:+.0}%", (intr.speedup() / r.speedup() - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("at 0% instrumentation polling wins (no signal costs); at the");
+    println!("measured 55% the interrupt mechanism's advantage matches Figure 2");
+}

@@ -1,0 +1,37 @@
+//! Extension (paper future work §7): memory utilization of the protocol ×
+//! granularity combinations — peak twin memory, diff traffic, and the
+//! per-node bookkeeping each protocol carries.
+
+use dsm_bench::sweep::{run_cell, GRANULARITIES};
+use dsm_core::{Notify, Protocol};
+use dsm_stats::Table;
+
+fn main() {
+    println!("== Extension: memory utilization (paper §7 future work) ==\n");
+    for app in ["water-nsquared", "volrend-original", "barnes-spatial"] {
+        println!("{app}: peak twin KB (max over nodes) / notices sent");
+        let mut t = Table::new(&["Protocol", "64", "256", "1024", "4096"]);
+        for p in Protocol::ALL {
+            let mut row = vec![p.name().to_string()];
+            for g in GRANULARITIES {
+                let c = run_cell(app, p, g, Notify::Polling);
+                let tot = c.stats.totals();
+                row.push(format!(
+                    "{}/{}",
+                    tot.twin_bytes_peak / 1024,
+                    tot.write_notices_sent
+                ));
+            }
+            t.row(&row);
+        }
+        println!("{}", t.render());
+    }
+    // Structural claims: twins exist only under HLRC, and twin memory grows
+    // with granularity (bigger blocks per twin).
+    let small = run_cell("volrend-original", Protocol::Hlrc, 64, Notify::Polling);
+    let large = run_cell("volrend-original", Protocol::Hlrc, 4096, Notify::Polling);
+    assert!(large.stats.totals().twin_bytes_peak > small.stats.totals().twin_bytes_peak);
+    let sc = run_cell("volrend-original", Protocol::Sc, 4096, Notify::Polling);
+    assert_eq!(sc.stats.totals().twin_bytes_peak, 0, "SC holds no twins");
+    println!("twin memory grows with granularity under HLRC; SC/SW-LRC hold none");
+}

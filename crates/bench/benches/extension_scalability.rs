@@ -1,0 +1,27 @@
+//! Extension (paper footnote: "We actually have 40 machines and hope to
+//! have 32-node runs for the final version"): cluster-size scaling of the
+//! node-count-generic applications at the two headline combinations.
+
+use dsm_apps::registry::app;
+use dsm_core::{run_experiment, Protocol, RunConfig};
+use dsm_stats::Table;
+
+fn main() {
+    println!("== Extension: 8/16/32-node scaling (the paper's planned runs) ==\n");
+    for (p, g) in [(Protocol::Sc, 256), (Protocol::Hlrc, 4096)] {
+        println!("{} @ {} B", p.name(), g);
+        let mut t = Table::new(&["App", "8 nodes", "16 nodes", "32 nodes"]);
+        for name in ["ocean-rowwise", "fft", "water-nsquared", "water-spatial", "raytrace"] {
+            let mut row = vec![name.to_string()];
+            for nodes in [8usize, 16, 32] {
+                let cfg = RunConfig::new(p, g).with_nodes(nodes);
+                let r = run_experiment(&cfg, app(name).unwrap());
+                assert!(r.check.is_ok(), "{name} {p:?} {nodes}n: {:?}", r.check);
+                row.push(format!("{:.2}", r.speedup()));
+            }
+            t.row(&row);
+        }
+        println!("{}", t.render());
+    }
+    println!("(LU, Volrend and Barnes use fixed 16-way layouts and are omitted)");
+}

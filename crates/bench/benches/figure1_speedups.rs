@@ -1,0 +1,70 @@
+//! Figure 1: speedups of all twelve applications for every protocol ×
+//! granularity combination (16 nodes, polling), plus the paper's headline
+//! qualitative claims checked against the measured grid.
+
+use dsm_bench::paper::PAPER_CLAIMS;
+use dsm_bench::report::speedup_table;
+use dsm_bench::sweep::{sweep_all, CellResult};
+
+fn best(grid: &[Vec<CellResult>], proto: usize) -> f64 {
+    grid[proto].iter().map(|c| c.speedup()).fold(0.0, f64::max)
+}
+
+fn main() {
+    println!("== Figure 1: speedups on 16 nodes (polling) ==\n");
+    let all = sweep_all();
+    for (name, grid) in &all {
+        println!("{}", speedup_table(name, grid));
+        for row in grid {
+            for cell in row {
+                assert!(
+                    cell.check_err.is_none(),
+                    "{} {}@{} failed verification: {:?}",
+                    name, cell.protocol, cell.block, cell.check_err
+                );
+            }
+        }
+    }
+
+    println!("== Headline claims ==");
+    for c in PAPER_CLAIMS {
+        println!("paper: {c}");
+    }
+    println!();
+
+    // "Good" at our scale: within 70% of the best combination for that app.
+    let mut sc_fine_good = 0;
+    let mut hlrc_page_good = 0;
+    let mut hlrc_ge_sw_at_4096 = 0;
+    for (name, grid) in &all {
+        let max = grid
+            .iter()
+            .flat_map(|r| r.iter().map(|c| c.speedup()))
+            .fold(0.0, f64::max);
+        let sc_fine = grid[0][0].speedup().max(grid[0][1].speedup());
+        let hlrc_page = grid[2][3].speedup();
+        if sc_fine >= 0.7 * max {
+            sc_fine_good += 1;
+        }
+        if hlrc_page >= 0.7 * max {
+            hlrc_page_good += 1;
+        }
+        if grid[2][3].speedup() >= grid[1][3].speedup() {
+            hlrc_ge_sw_at_4096 += 1;
+        }
+        let _ = name;
+    }
+    println!("measured: SC at fine grain within 70% of best: {sc_fine_good}/12 apps (paper: ~7)");
+    println!("measured: HLRC at 4096 within 70% of best:     {hlrc_page_good}/12 apps (paper: ~8)");
+    println!("measured: HLRC >= SW-LRC at 4096:              {hlrc_ge_sw_at_4096}/12 apps (paper: 12)");
+
+    // Barnes-Original: fine-grain SC must beat every relaxed combination.
+    let barnes = &all.iter().find(|(n, _)| n == "barnes-original").unwrap().1;
+    let sc_best = best(barnes, 0);
+    let relaxed_best = best(barnes, 1).max(best(barnes, 2));
+    println!(
+        "measured: barnes-original SC best {sc_best:.2} vs relaxed best {relaxed_best:.2} \
+         (paper: SC wins)"
+    );
+    assert!(sc_best > relaxed_best, "Barnes-Original must favour SC");
+}

@@ -1,0 +1,34 @@
+//! §3 microbenchmark: message round-trip times and bandwidth, compared to
+//! the paper's published Myrinet numbers.
+
+use dsm_bench::paper::PAPER_RTT_US;
+use dsm_net::LatencyModel;
+use dsm_stats::Table;
+
+fn main() {
+    println!("== Paper §3 microbenchmark: message latencies ==\n");
+    let m = LatencyModel::default();
+    let mut t = Table::new(&["Size (B)", "Paper RTT (us)", "Model RTT (us)", "One-way BW (MB/s)"]);
+    for (size, paper_us) in PAPER_RTT_US {
+        t.row(&[
+            size.to_string(),
+            paper_us.to_string(),
+            format!("{:.1}", m.rtt(size) as f64 / 1000.0),
+            format!("{:.1}", m.bandwidth_mb_s(size)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "large-message bandwidth: {:.1} MB/s one-way at 64 KB \
+         (paper: ~17 MB/s steady-state pipelined)",
+        m.bandwidth_mb_s(65536)
+    );
+    for (size, paper_us) in PAPER_RTT_US {
+        assert_eq!(
+            m.rtt(size),
+            paper_us * 1000,
+            "model must reproduce the paper's RTT at {size} B"
+        );
+    }
+    println!("\nall five calibration points match the paper exactly");
+}

@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the protocol-critical primitives: diff
+//! creation/application, vector-clock operations, the latency model, and
+//! access-control table lookups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsm_mem::{Access, AccessTable};
+use dsm_net::LatencyModel;
+use dsm_proto::diff::Diff;
+use dsm_proto::vt::VClock;
+use std::hint::black_box;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for size in [64usize, 1024, 4096] {
+        let twin = vec![0u8; size];
+        let mut cur = twin.clone();
+        // Dirty every 16th word: a realistically sparse diff.
+        for i in (0..size).step_by(128) {
+            cur[i] = 1;
+        }
+        g.bench_function(format!("create_{size}"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)))
+        });
+        let d = Diff::create(&twin, &cur);
+        g.bench_function(format!("apply_{size}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut home| d.apply(black_box(&mut home)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vclock");
+    let mut a = VClock::new(16);
+    let mut b = VClock::new(16);
+    for i in 0..16 {
+        for _ in 0..(i * 13 % 7) + 1 {
+            a.tick(i);
+        }
+        for _ in 0..(i * 7 % 11) + 1 {
+            b.tick(i);
+        }
+    }
+    g.bench_function("merge", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| x.merge(black_box(&b)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("missing_intervals", |bch| {
+        bch.iter(|| VClock::missing_intervals(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let m = LatencyModel::default();
+    c.bench_function("latency_one_way", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in [16u64, 80, 300, 1100, 4200] {
+                acc += m.one_way(black_box(s));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_access_table(c: &mut Criterion) {
+    let mut t = AccessTable::new(16, 65536);
+    for b in (0..65536).step_by(3) {
+        t.set(b % 16, b, Access::Read);
+    }
+    c.bench_function("access_check", |bch| {
+        bch.iter(|| {
+            let mut hits = 0u32;
+            for b in (0..65536).step_by(97) {
+                if t.get(black_box(5), black_box(b)).readable() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group!(benches, bench_diff, bench_vclock, bench_latency, bench_access_table);
+criterion_main!(benches);

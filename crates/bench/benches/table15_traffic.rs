@@ -1,0 +1,39 @@
+//! Table 15: data traffic for Barnes-Original — the paper's fragmentation
+//! analysis (HLRC at 4096 B moves ~25x the data of SC at 64 B; SW-LRC at
+//! 4096 B moves ~2x HLRC's bytes).
+
+use dsm_bench::report::counter_row;
+use dsm_bench::sweep::sweep_app;
+use dsm_stats::Table;
+
+fn main() {
+    println!("== Table 15: Barnes-Original data traffic (KB) ==\n");
+    let grid = sweep_app("barnes-original");
+    let mut t = Table::new(&["Protocol", "64", "256", "1024", "4096"]);
+    for row in &grid {
+        let mut cells = vec![row[0].protocol.clone()];
+        for cell in row {
+            let tot = cell.stats.totals();
+            cells.push(format!("{}", tot.total_traffic() / 1024));
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+
+    let sc = counter_row(&grid[0], |c| c.total_traffic());
+    let sw = counter_row(&grid[1], |c| c.total_traffic());
+    let hl = counter_row(&grid[2], |c| c.total_traffic());
+    println!(
+        "HLRC@4096 / SC@64 traffic = {:.1}x   (paper: ~25x)",
+        hl[3] as f64 / sc[0] as f64
+    );
+    println!(
+        "SW-LRC@4096 / HLRC@4096  = {:.1}x   (paper: ~2x)",
+        sw[3] as f64 / hl[3] as f64
+    );
+    assert!(
+        hl[3] > 4 * sc[0],
+        "coarse-grain fragmentation must dominate Barnes traffic"
+    );
+    assert!(sw[3] > hl[3], "single-writer migration must move more data than diffs");
+}

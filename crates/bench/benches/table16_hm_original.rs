@@ -1,0 +1,83 @@
+//! Table 16: harmonic mean of relative efficiencies across the eight
+//! original applications (the versions ported directly from hardware
+//! shared memory), for every protocol x granularity combination.
+
+use dsm_bench::paper::{PAPER_HM_ORIGINAL, PAPER_HM_ORIGINAL_PBEST};
+use dsm_bench::sweep::{sweep_app, GRANULARITIES};
+use dsm_core::Protocol;
+use dsm_stats::{EfficiencyMatrix, Table};
+
+/// The eight original implementations (paper §5.5).
+pub const ORIGINAL_APPS: [&str; 8] = [
+    "lu",
+    "ocean-original",
+    "fft",
+    "water-nsquared",
+    "volrend-original",
+    "water-spatial",
+    "raytrace",
+    "barnes-original",
+];
+
+fn main() {
+    println!("== Table 16: HM of relative efficiency, original applications ==\n");
+    let mut m = EfficiencyMatrix::new();
+    for app in ORIGINAL_APPS {
+        for (pi, p) in Protocol::ALL.iter().enumerate() {
+            let grid = sweep_app(app);
+            for (gi, g) in GRANULARITIES.iter().enumerate() {
+                m.record(app, p.name(), *g, grid[pi][gi].speedup());
+            }
+        }
+    }
+    let mut t = Table::new(&["Protocol", "64", "256", "1024", "4096", "g_best", "(paper row)"]);
+    for (pi, p) in Protocol::ALL.iter().enumerate() {
+        let mut cells = vec![p.name().to_string()];
+        for g in GRANULARITIES {
+            cells.push(format!("{:.3}", m.hm_fixed(p.name(), g)));
+        }
+        cells.push(format!("{:.3}", m.hm_best_granularity(p.name(), &GRANULARITIES)));
+        cells.push(
+            PAPER_HM_ORIGINAL[pi]
+                .iter()
+                .map(|v| v.map_or("-".into(), |x| format!("{x:.3}")))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        t.row(&cells);
+    }
+    let protos: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();
+    let mut cells = vec!["p_best".to_string()];
+    for g in GRANULARITIES {
+        cells.push(format!("{:.3}", m.hm_best_protocol(g, &protos)));
+    }
+    cells.push("1.000".into());
+    cells.push(
+        PAPER_HM_ORIGINAL_PBEST
+            .iter()
+            .map(|v| v.map_or("-".into(), |x| format!("{x:.3}")))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    t.row(&cells);
+    println!("{}", t.render());
+
+    // The paper's headline for the original versions: at a fixed protocol
+    // and granularity, SC's best column is a fine/medium granularity while
+    // coarse-grain SC collapses (0.274 at 4096 in the paper).
+    let sc_best_g = GRANULARITIES
+        .iter()
+        .max_by(|a, b| {
+            m.hm_fixed("SC", **a)
+                .partial_cmp(&m.hm_fixed("SC", **b))
+                .unwrap()
+        })
+        .copied()
+        .unwrap();
+    println!("SC's best fixed granularity: {sc_best_g} B (paper: 256 B)");
+    assert!(sc_best_g <= 1024, "SC must peak below page granularity");
+    let hl4096 = m.hm_fixed("HLRC", 4096);
+    let sc4096 = m.hm_fixed("SC", 4096);
+    println!("at 4096 B: HLRC HM {hl4096:.3} vs SC HM {sc4096:.3} (paper: 0.927 vs 0.274)");
+    assert!(hl4096 > sc4096, "HLRC must dominate SC at page granularity");
+}

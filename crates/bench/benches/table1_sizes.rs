@@ -1,0 +1,49 @@
+//! Table 1: benchmarks, problem sizes, and sequential execution times —
+//! the paper's sizes next to our scaled sizes and modeled times.
+
+use dsm_bench::paper::PAPER_TABLE1;
+use dsm_core::run_sequential;
+use dsm_stats::Table;
+
+fn scaled_size(app: &str) -> String {
+    match app {
+        "lu" => "512x512".into(),
+        "fft" => "16384 pts".into(),
+        "ocean-rowwise" | "ocean-original" => "256x256, 6 iters".into(),
+        "water-nsquared" => "512 molecules, 2 steps".into(),
+        "water-spatial" => "512 molecules, 2 steps".into(),
+        "volrend-rowwise" | "volrend-original" => "96^2 image".into(),
+        "raytrace" => "96^2, 24 spheres".into(),
+        name if name.starts_with("barnes") => "1024 particles, 2 steps".into(),
+        _ => "?".into(),
+    }
+}
+
+fn paper_key(app: &str) -> &str {
+    match app {
+        "ocean-rowwise" | "ocean-original" => "ocean",
+        "volrend-rowwise" | "volrend-original" => "volrend",
+        "barnes-spatial" | "barnes-partree" | "barnes-original" => "barnes",
+        other => other,
+    }
+}
+
+fn main() {
+    println!("== Table 1: problem sizes and sequential execution times ==\n");
+    println!("(sizes scaled down from the paper; sequential times are modeled");
+    println!(" 66 MHz HyperSPARC virtual times)\n");
+    let mut t = Table::new(&["Benchmark", "Our size", "Our seq (s)", "Paper size", "Paper seq (s)"]);
+    for name in dsm_apps::registry::all_app_names() {
+        let app = dsm_apps::registry::app(name).unwrap();
+        let (_, seq_ns) = run_sequential(app.as_ref());
+        let paper = PAPER_TABLE1.iter().find(|(n, _, _)| *n == paper_key(name));
+        t.row(&[
+            name.to_string(),
+            scaled_size(name),
+            format!("{:.2}", seq_ns as f64 / 1e9),
+            paper.map_or("-".into(), |(_, s, _)| s.to_string()),
+            paper.map_or("-".into(), |(_, _, s)| format!("{s}")),
+        ]);
+    }
+    println!("{}", t.render());
+}

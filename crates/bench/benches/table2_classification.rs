@@ -1,0 +1,74 @@
+//! Table 2: classification of sharing patterns and synchronization
+//! granularity, with measured computation-time-per-synchronization and
+//! barrier counts next to the paper's.
+
+use dsm_bench::sweep::run_cell;
+use dsm_core::{Notify, Protocol};
+use dsm_stats::Table;
+
+/// Paper Table 2 reference: (app, writers, access grain,
+/// comp-ms-per-sync, barriers, sync grain).
+const PAPER: [(&str, &str, &str, &str, &str, &str); 12] = [
+    ("lu", "single", "coarse", "71.69", "64", "coarse"),
+    ("ocean-rowwise", "single", "coarse", "9.88", "323", "coarse"),
+    ("ocean-original", "single", "fine", "5.85", "328", "coarse"),
+    ("fft", "single", "fine", "170.36", "10", "coarse"),
+    ("water-nsquared", "multiple", "coarse", "59.93", "12", "fine"),
+    ("volrend-rowwise", "multiple", "fine", "17.55", "16", "coarse"),
+    ("volrend-original", "multiple", "fine", "17.55", "16", "coarse"),
+    ("water-spatial", "multiple", "fine", "1439.83", "18", "coarse"),
+    ("raytrace", "multiple", "fine", "100.87", "1", "coarse"),
+    ("barnes-spatial", "multiple", "fine", "157.83", "12", "coarse"),
+    ("barnes-partree", "multiple", "fine", "73.93", "13", "coarse"),
+    ("barnes-original", "multiple", "fine", "0.12 (LRC)", "8", "fine"),
+];
+
+fn main() {
+    println!("== Table 2: classification and synchronization granularity ==\n");
+    println!("(measured columns from the HLRC@4096 polling run; comp/sync is");
+    println!(" average computation time between consecutive sync events)\n");
+    let mut t = Table::new(&[
+        "Application",
+        "Writers",
+        "Access",
+        "Comp/sync ms",
+        "(paper)",
+        "Barriers/node",
+        "(paper)",
+        "Sync grain",
+    ]);
+    for (app, writers, access, p_sync, p_barriers, grain) in PAPER {
+        let cell = run_cell(app, Protocol::Hlrc, 4096, Notify::Polling);
+        let tot = cell.stats.totals();
+        let n = cell.stats.per_node.len() as u64;
+        let syncs = (tot.lock_acquires + tot.barriers).max(1);
+        // Total compute over total sync events IS the per-processor average
+        // computation time between consecutive synchronization events.
+        let comp_per_sync_ms = tot.compute_ns as f64 / syncs as f64 / 1e6;
+        t.row(&[
+            app.to_string(),
+            writers.to_string(),
+            access.to_string(),
+            format!("{comp_per_sync_ms:.2}"),
+            p_sync.to_string(),
+            (tot.barriers / n).to_string(),
+            p_barriers.to_string(),
+            grain.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    // The paper's one fine-grain-synchronization outlier must reproduce:
+    // Barnes-Original's comp/sync under the LRC protocols is two orders of
+    // magnitude below every other application's.
+    let barnes = run_cell("barnes-original", Protocol::Hlrc, 4096, Notify::Polling);
+    let bt = barnes.stats.totals();
+    let barnes_ratio = bt.compute_ns as f64 / (bt.lock_acquires + bt.barriers).max(1) as f64;
+    let lu = run_cell("lu", Protocol::Hlrc, 4096, Notify::Polling);
+    let lt = lu.stats.totals();
+    let lu_ratio = lt.compute_ns as f64 / (lt.lock_acquires + lt.barriers).max(1) as f64;
+    println!(
+        "barnes-original comp/sync is {:.0}x finer than LU's (paper: ~600x)",
+        lu_ratio / barnes_ratio
+    );
+    assert!(lu_ratio / barnes_ratio > 50.0);
+}

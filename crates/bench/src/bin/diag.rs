@@ -1,0 +1,20 @@
+//! Diagnostic: stat breakdown for one (app, protocol, granularity).
+use dsm_apps::registry::app;
+use dsm_core::{run_experiment, Protocol, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("lu");
+    let proto: Protocol = args.get(1).map(String::as_str).unwrap_or("sc").parse().unwrap();
+    let block: usize = args.get(2).map(String::as_str).unwrap_or("64").parse().unwrap();
+    let r = run_experiment(&RunConfig::new(proto, block), app(name).unwrap());
+    let t = r.stats.totals();
+    let par = r.stats.parallel_time_ns as f64 / 1e6;
+    let seq = r.stats.sequential_time_ns as f64 / 1e6;
+    println!("{name} {proto:?}@{block}: speedup {:.2} (seq {seq:.1}ms par {par:.1}ms) check={:?}", r.speedup(), r.check.is_ok());
+    println!("  faults: r={} w={} local_w={} inval={} fetch_served={}", t.read_faults, t.write_faults, t.local_write_faults, t.invalidations, t.fetches_served);
+    println!("  msgs={} ctrl={}KB data={}KB diffs={} notices={}", t.msgs_sent, t.ctrl_bytes/1024, t.data_bytes/1024, t.diffs_created, t.write_notices_sent);
+    println!("  per-node avg (ms): compute={:.1} poll={:.1} rstall={:.1} wstall={:.1} lock={:.1} barrier={:.1} svc={:.1}",
+        t.compute_ns as f64/16e6, t.poll_overhead_ns as f64/16e6, t.read_stall_ns as f64/16e6,
+        t.write_stall_ns as f64/16e6, t.lock_wait_ns as f64/16e6, t.barrier_wait_ns as f64/16e6, t.service_ns as f64/16e6);
+}

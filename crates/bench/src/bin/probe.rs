@@ -1,0 +1,26 @@
+//! Quick probe: speedups for a few apps across protocols/granularities.
+use dsm_apps::registry::app;
+use dsm_core::{run_experiment, Protocol, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names = if names.is_empty() {
+        vec!["lu".to_string(), "ocean-rowwise".into(), "volrend-original".into()]
+    } else {
+        names
+    };
+    for name in names {
+        println!("== {name} ==");
+        for p in Protocol::ALL {
+            let mut row = format!("{:8}", p.name());
+            for g in [64usize, 256, 1024, 4096] {
+                let t0 = Instant::now();
+                let r = run_experiment(&RunConfig::new(p, g), app(&name).unwrap());
+                let ok = if r.check.is_ok() { "" } else { "!ERR" };
+                row += &format!("  {:5.2}{}({:.1}s)", r.speedup(), ok, t0.elapsed().as_secs_f64());
+            }
+            println!("{row}");
+        }
+    }
+}

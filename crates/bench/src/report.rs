@@ -1,0 +1,76 @@
+//! Rendering helpers for the bench reports.
+
+use dsm_stats::{Counters, Table};
+
+use crate::paper::PaperFaults;
+use crate::sweep::{CellResult, GRANULARITIES};
+
+/// Render a per-application speedup grid (one row per protocol).
+pub fn speedup_table(app: &str, grid: &[Vec<CellResult>]) -> String {
+    let mut t = Table::new(&["Protocol", "64", "256", "1024", "4096"]);
+    for row in grid {
+        let mut cells = vec![row[0].protocol.clone()];
+        for cell in row {
+            let mark = if cell.check_err.is_some() { "!" } else { "" };
+            cells.push(format!("{:.2}{mark}", cell.speedup()));
+        }
+        t.row(&cells);
+    }
+    format!("{app}\n{}", t.render())
+}
+
+/// Render a paper-vs-measured fault table in the style of Tables 3–14.
+pub fn fault_table(grid: &[Vec<CellResult>], paper: Option<&PaperFaults>) -> String {
+    let mut t = Table::new(&["Fault", "Protocol", "64", "256", "1024", "4096"]);
+    for (kind, pick, paper_rows) in [
+        (
+            "Read",
+            (|c: &Counters| c.read_faults) as fn(&Counters) -> u64,
+            paper.map(|p| &p.read),
+        ),
+        ("Write", |c: &Counters| c.write_faults, paper.map(|p| &p.write)),
+    ] {
+        for (pi, row) in grid.iter().enumerate() {
+            let mut cells = vec![kind.to_string(), row[0].protocol.clone()];
+            for cell in row {
+                cells.push(pick(&cell.stats.totals()).to_string());
+            }
+            t.row(&cells);
+            if let Some(rows) = paper_rows {
+                let mut pcells = vec!["".to_string(), "  (paper)".to_string()];
+                for v in rows[pi] {
+                    pcells.push(v.map_or("-".into(), |x| x.to_string()));
+                }
+                t.row(&pcells);
+            }
+        }
+    }
+    t.render()
+}
+
+/// Scaling note shown at the top of fault tables: absolute counts differ
+/// from the paper's because problem sizes are scaled down; the per-column
+/// ratios (the ×4-per-granularity shape) are the comparison target.
+pub const SCALE_NOTE: &str = "problem sizes are scaled down from the paper's; \
+compare shapes (column ratios, protocol ordering), not absolute counts";
+
+/// Column-ratio summary: counts relative to the 64-byte column.
+pub fn ratio_row(vals: &[u64; 4]) -> String {
+    let base = vals[0].max(1) as f64;
+    format!(
+        "1.00 : {:.2} : {:.2} : {:.2}",
+        vals[1] as f64 / base,
+        vals[2] as f64 / base,
+        vals[3] as f64 / base
+    )
+}
+
+/// Extract per-granularity totals of one counter for one protocol row.
+pub fn counter_row(row: &[CellResult], pick: impl Fn(&Counters) -> u64) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (i, cell) in row.iter().enumerate() {
+        out[i] = pick(&cell.stats.totals());
+    }
+    debug_assert_eq!(row.len(), GRANULARITIES.len());
+    out
+}

@@ -1,0 +1,115 @@
+//! Experiment sweeps with an on-disk result cache.
+//!
+//! A full protocol × granularity sweep of all twelve applications takes a
+//! few minutes; several bench targets need the same cells (the fault tables
+//! reuse the speedup sweep's runs). Results are cached as JSON under
+//! `target/dsm-results/`; set `DSM_BENCH_REFRESH=1` to force re-running,
+//! and bump [`CACHE_VERSION`] when a change invalidates old results.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dsm_core::{run_experiment, Notify, Protocol, RunConfig};
+use dsm_stats::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Bump when protocol or application changes invalidate cached results.
+pub const CACHE_VERSION: u32 = 1;
+
+/// The four granularities of the study.
+pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
+
+/// A cached experiment cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Application name.
+    pub app: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Coherence granularity (bytes).
+    pub block: usize,
+    /// Notification mechanism name.
+    pub notify: String,
+    /// Full run statistics (sequential baseline included).
+    pub stats: RunStats,
+    /// Error text if verification failed (None = verified).
+    pub check_err: Option<String>,
+}
+
+impl CellResult {
+    /// Parallel speedup.
+    pub fn speedup(&self) -> f64 {
+        self.stats.speedup()
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("target");
+    p.push("dsm-results");
+    p
+}
+
+fn cache_path(app: &str, p: Protocol, g: usize, notify: Notify) -> PathBuf {
+    cache_dir().join(format!(
+        "{app}_{}_{g}_{}_v{CACHE_VERSION}.json",
+        p.name().to_lowercase().replace('-', ""),
+        notify.name()
+    ))
+}
+
+/// Run (or load from cache) one experiment cell.
+pub fn run_cell(app: &str, p: Protocol, g: usize, notify: Notify) -> CellResult {
+    let path = cache_path(app, p, g, notify);
+    let refresh = std::env::var("DSM_BENCH_REFRESH").is_ok();
+    if !refresh {
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Ok(cell) = serde_json::from_str::<CellResult>(&text) {
+                return cell;
+            }
+        }
+    }
+    let program = dsm_apps::registry::app(app)
+        .unwrap_or_else(|| panic!("unknown application {app}"));
+    let cfg = RunConfig::new(p, g).with_notify(notify);
+    let r = run_experiment(&cfg, program);
+    let cell = CellResult {
+        app: app.to_string(),
+        protocol: p.name().to_string(),
+        block: g,
+        notify: notify.name().to_string(),
+        stats: r.stats,
+        check_err: r.check.err(),
+    };
+    let _ = fs::create_dir_all(cache_dir());
+    if let Ok(text) = serde_json::to_string(&cell) {
+        let _ = fs::write(&path, text);
+    }
+    cell
+}
+
+/// Full protocol × granularity sweep for one application under polling.
+pub fn sweep_app(app: &str) -> Vec<Vec<CellResult>> {
+    Protocol::ALL
+        .iter()
+        .map(|&p| {
+            GRANULARITIES
+                .iter()
+                .map(|&g| run_cell(app, p, g, Notify::Polling))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sweep every application (the Figure 1 grid).
+pub fn sweep_all() -> Vec<(String, Vec<Vec<CellResult>>)> {
+    dsm_apps::registry::all_app_names()
+        .iter()
+        .map(|&name| {
+            eprintln!("  sweeping {name} ...");
+            (name.to_string(), sweep_app(name))
+        })
+        .collect()
+}

@@ -1,0 +1,174 @@
+//! The `Dsm` access trait: everything a program may do to shared memory.
+
+/// Handle through which a program body accesses shared memory and
+/// synchronizes. Implemented by the parallel run-time ([`crate::DsmThread`])
+/// and the sequential runner ([`crate::SeqDsm`]).
+///
+/// Addresses are byte offsets into the shared space laid out by the program
+/// itself (typically with [`dsm_mem::BumpAlloc`] at construction).
+pub trait Dsm {
+    /// This node's id (`0` in sequential runs).
+    fn node(&self) -> usize;
+
+    /// Cluster size (`1` in sequential runs).
+    fn num_nodes(&self) -> usize;
+
+    /// Charge `ns` nanoseconds of local computation.
+    fn compute(&mut self, ns: u64);
+
+    /// Read `buf.len()` bytes at `addr`.
+    fn read(&mut self, addr: usize, buf: &mut [u8]);
+
+    /// Write `data` at `addr`.
+    fn write(&mut self, addr: usize, data: &[u8]);
+
+    /// Acquire lock `l`.
+    fn lock(&mut self, l: usize);
+
+    /// Release lock `l`.
+    fn unlock(&mut self, l: usize);
+
+    /// Wait at barrier `b` until all nodes arrive.
+    fn barrier(&mut self, b: usize);
+
+    /// Reset measurement: zero this node's statistics and mark the start
+    /// of the measured parallel phase. Programs call this once, after their
+    /// warm-up touch phase (behind a barrier); the run harness reports
+    /// times and counters from this point on.
+    fn begin_measurement(&mut self) {}
+
+    /// True when the run is under a release-consistent protocol, in which
+    /// case the program must add the extra synchronization the paper
+    /// describes (e.g. Barnes' tree-build locks): plain reads may observe
+    /// stale data until an acquire. Sequential runs return false.
+    fn is_release_consistent(&self) -> bool {
+        false
+    }
+
+    // ---- typed convenience accessors ----
+
+    /// Read one byte.
+    fn read_u8(&mut self, addr: usize) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    /// Write one byte.
+    fn write_u8(&mut self, addr: usize, v: u8) {
+        self.write(addr, &[v]);
+    }
+
+    /// Read a little-endian `u64`.
+    fn read_u64(&mut self, addr: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64`.
+    fn write_u64(&mut self, addr: usize, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `u32`.
+    fn read_u32(&mut self, addr: usize) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u32`.
+    fn write_u32(&mut self, addr: usize, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Read an `i64`.
+    fn read_i64(&mut self, addr: usize) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Write an `i64`.
+    fn write_i64(&mut self, addr: usize, v: i64) {
+        self.write_u64(addr, v as u64);
+    }
+
+    /// Read an `f64`.
+    fn read_f64(&mut self, addr: usize) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an `f64`.
+    fn write_f64(&mut self, addr: usize, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Read `out.len()` consecutive `f64`s starting at `addr`.
+    fn read_f64s(&mut self, addr: usize, out: &mut [f64]) {
+        // One bulk access: the run-time charges per touched word and checks
+        // every covered block, exactly like an unrolled loop of loads.
+        let mut raw = vec![0u8; out.len() * 8];
+        self.read(addr, &mut raw);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+    }
+
+    /// Write all of `vals` consecutively starting at `addr`.
+    fn write_f64s(&mut self, addr: usize, vals: &[f64]) {
+        let mut raw = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &raw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-vector Dsm for testing the default typed accessors.
+    struct VecDsm(Vec<u8>);
+    impl Dsm for VecDsm {
+        fn node(&self) -> usize {
+            0
+        }
+        fn num_nodes(&self) -> usize {
+            1
+        }
+        fn compute(&mut self, _ns: u64) {}
+        fn read(&mut self, addr: usize, buf: &mut [u8]) {
+            buf.copy_from_slice(&self.0[addr..addr + buf.len()]);
+        }
+        fn write(&mut self, addr: usize, data: &[u8]) {
+            self.0[addr..addr + data.len()].copy_from_slice(data);
+        }
+        fn lock(&mut self, _l: usize) {}
+        fn unlock(&mut self, _l: usize) {}
+        fn barrier(&mut self, _b: usize) {}
+    }
+
+    #[test]
+    fn typed_roundtrips() {
+        let mut d = VecDsm(vec![0; 128]);
+        d.write_u64(0, 0xdead_beef_0123);
+        assert_eq!(d.read_u64(0), 0xdead_beef_0123);
+        d.write_f64(8, -1.25e10);
+        assert_eq!(d.read_f64(8), -1.25e10);
+        d.write_u32(16, 77);
+        assert_eq!(d.read_u32(16), 77);
+        d.write_i64(24, -42);
+        assert_eq!(d.read_i64(24), -42);
+    }
+
+    #[test]
+    fn bulk_f64s_roundtrip() {
+        let mut d = VecDsm(vec![0; 256]);
+        let vals = [1.0, 2.5, -3.75, 0.0, 1e-300];
+        d.write_f64s(64, &vals);
+        let mut out = [0.0; 5];
+        d.read_f64s(64, &mut out);
+        assert_eq!(out, vals);
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed views over a raw memory image (golden initialization and result
+//! checking).
+
+/// An owned memory image with typed accessors, used for program
+/// initialization (the golden image) and for inspecting run results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemImage {
+    bytes: Vec<u8>,
+}
+
+impl MemImage {
+    /// Zero-filled image of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        MemImage { bytes: vec![0; size] }
+    }
+
+    /// Wrap an existing byte vector.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemImage { bytes }
+    }
+
+    /// Raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Raw bytes, mutable.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Consume into the raw vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for a zero-sized image.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read an `f64` at byte offset `addr`.
+    pub fn read_f64(&self, addr: usize) -> f64 {
+        f64::from_le_bytes(self.bytes[addr..addr + 8].try_into().unwrap())
+    }
+
+    /// Write an `f64` at byte offset `addr`.
+    pub fn write_f64(&mut self, addr: usize, v: f64) {
+        self.bytes[addr..addr + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a `u64`.
+    pub fn read_u64(&self, addr: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[addr..addr + 8].try_into().unwrap())
+    }
+
+    /// Write a `u64`.
+    pub fn write_u64(&mut self, addr: usize, v: u64) {
+        self.bytes[addr..addr + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a `u32`.
+    pub fn read_u32(&self, addr: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[addr..addr + 4].try_into().unwrap())
+    }
+
+    /// Write a `u32`.
+    pub fn write_u32(&mut self, addr: usize, v: u32) {
+        self.bytes[addr..addr + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read an `i64`.
+    pub fn read_i64(&self, addr: usize) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Write an `i64`.
+    pub fn write_i64(&mut self, addr: usize, v: i64) {
+        self.write_u64(addr, v as u64);
+    }
+
+    /// Maximum absolute difference between two `f64` arrays stored at the
+    /// same offset of both images (for epsilon result checks).
+    pub fn max_f64_diff(&self, other: &MemImage, addr: usize, count: usize) -> f64 {
+        (0..count)
+            .map(|i| (self.read_f64(addr + 8 * i) - other.read_f64(addr + 8 * i)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_access_roundtrips() {
+        let mut m = MemImage::new(64);
+        m.write_f64(0, 3.5);
+        m.write_u64(8, 99);
+        m.write_u32(16, 7);
+        m.write_i64(24, -1);
+        assert_eq!(m.read_f64(0), 3.5);
+        assert_eq!(m.read_u64(8), 99);
+        assert_eq!(m.read_u32(16), 7);
+        assert_eq!(m.read_i64(24), -1);
+    }
+
+    #[test]
+    fn max_diff_over_region() {
+        let mut a = MemImage::new(32);
+        let mut b = MemImage::new(32);
+        a.write_f64(0, 1.0);
+        b.write_f64(0, 1.5);
+        a.write_f64(8, 2.0);
+        b.write_f64(8, 2.0);
+        assert_eq!(a.max_f64_diff(&b, 0, 2), 0.5);
+    }
+}

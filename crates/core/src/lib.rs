@@ -1,0 +1,116 @@
+#![warn(missing_docs)]
+
+//! Public API of the DSM reproduction: configure a cluster, run a shared
+//! memory program under a chosen protocol / granularity / notification
+//! mechanism, and collect statistics.
+//!
+//! Programs implement [`DsmProgram`] and perform all shared accesses through
+//! the [`Dsm`] trait, which has two interchangeable implementations:
+//!
+//! * the parallel run-time ([`run_parallel`]): every node is a simulated
+//!   cluster node; accesses go through the coherence protocol;
+//! * the sequential runner ([`run_sequential`]): the same program on one
+//!   node against plain memory, which defines the speedup baseline exactly
+//!   as the paper does (Table 1's sequential execution times).
+
+pub mod api;
+pub mod image;
+pub mod runner;
+pub mod seq;
+pub mod thread;
+
+pub use api::Dsm;
+pub use image::MemImage;
+pub use runner::{
+    run_checked, run_experiment, run_parallel, run_sequential, ExperimentResult, RunConfig,
+};
+pub use seq::SeqDsm;
+pub use thread::DsmThread;
+
+pub use dsm_net::{CostModel, LatencyModel, Notify};
+pub use dsm_proto::{Protocol, ProtoConfig};
+pub use dsm_stats::{Counters, RunStats};
+
+use std::sync::Arc;
+
+/// A shared-memory program runnable under any protocol and granularity.
+///
+/// The program declares its shared-space size, initializes the golden image
+/// (the pre-parallel-phase memory contents), and provides the per-node body.
+/// The body learns its node id and the cluster size from the [`Dsm`] handle;
+/// with a single node it must degenerate to the sequential algorithm, which
+/// is how the speedup baseline is produced.
+pub trait DsmProgram: Send + Sync + 'static {
+    /// Short name used in reports (e.g. `"lu"`).
+    fn name(&self) -> String;
+
+    /// Bytes of shared address space the program needs.
+    fn shared_bytes(&self) -> usize;
+
+    /// Write the initial contents of shared memory (runs unmodeled, before
+    /// the parallel phase).
+    fn init(&self, mem: &mut MemImage);
+
+    /// Warm-up touch phase (the paper's "touch arrays"): programs touch
+    /// the data they own so that first-touch homing and cold faults happen
+    /// before measurement begins. Runs on every node, followed by a
+    /// barrier and a statistics reset.
+    fn warmup(&self, d: &mut dyn Dsm) {
+        let _ = d;
+    }
+
+    /// The per-node program body.
+    fn run(&self, d: &mut dyn Dsm);
+
+    /// Polling-instrumentation compute overhead for this application, in
+    /// percent (paper §5.4: app-dependent, up to 55% for LU).
+    fn poll_inflation_pct(&self) -> u32 {
+        15
+    }
+
+    /// Number of locks the LRC-adapted version of the program uses beyond
+    /// the SC version (for reporting only; the body itself decides what to
+    /// call).
+    fn uses_lrc_extra_sync(&self) -> bool {
+        false
+    }
+
+    /// Verify a parallel result against the sequential result. The default
+    /// requires bit-identical images; programs whose parallel reduction
+    /// order differs override this with an epsilon comparison of the result
+    /// region.
+    fn check(&self, seq: &MemImage, par: &MemImage) -> Result<(), String> {
+        // Layout padding differs with granularity; only the program-defined
+        // region is comparable.
+        let n = self.shared_bytes().min(seq.len()).min(par.len());
+        match seq.bytes()[..n]
+            .iter()
+            .zip(&par.bytes()[..n])
+            .position(|(a, b)| a != b)
+        {
+            None => Ok(()),
+            Some(i) => Err(format!("images differ at byte {i:#x}")),
+        }
+    }
+}
+
+/// Shared-pointer alias used by the runner.
+pub type Program = Arc<dyn DsmProgram>;
+
+/// Store-touch every 64-byte unit of `[addr, addr+len)`: the classic
+/// touch-array idiom that claims first-touch homes and warms access state.
+pub fn touch_region(d: &mut dyn Dsm, addr: usize, len: usize) {
+    let mut off = 0;
+    while off < len {
+        let a = addr + off;
+        let chunk = (len - off).min(8);
+        if chunk == 8 {
+            let v = d.read_u64(a);
+            d.write_u64(a, v);
+        } else {
+            let v = d.read_u8(a);
+            d.write_u8(a, v);
+        }
+        off += 64;
+    }
+}

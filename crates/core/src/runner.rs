@@ -1,0 +1,188 @@
+//! Run harness: execute a program on the simulated cluster (or
+//! sequentially) and collect results.
+
+use std::sync::Arc;
+
+use dsm_mem::Layout;
+use dsm_net::{CostModel, LatencyModel, Notify};
+use dsm_proto::{final_image, ProtoConfig, Protocol, ProtoWorld};
+use dsm_sim::engine::{run_cluster, NodeBody, NodeCtx};
+use dsm_stats::RunStats;
+
+use crate::api::Dsm;
+use crate::image::MemImage;
+use crate::seq::SeqDsm;
+use crate::thread::DsmThread;
+use crate::{DsmProgram, Program};
+
+/// Configuration of one parallel run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Cluster size (the paper's testbed: 16).
+    pub nodes: usize,
+    /// Coherence granularity in bytes (64 / 256 / 1024 / 4096).
+    pub block_size: usize,
+    /// Consistency protocol.
+    pub protocol: Protocol,
+    /// Message notification mechanism.
+    pub notify: Notify,
+    /// Platform cost constants.
+    pub cost: CostModel,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// First-touch home migration (paper policy). False = static homes.
+    pub first_touch: bool,
+}
+
+impl RunConfig {
+    /// 16 nodes, polling, default platform parameters.
+    pub fn new(protocol: Protocol, block_size: usize) -> Self {
+        RunConfig {
+            nodes: 16,
+            block_size,
+            protocol,
+            notify: Notify::Polling,
+            cost: CostModel::default(),
+            latency: LatencyModel::default(),
+            first_touch: true,
+        }
+    }
+
+    /// Same configuration with static (non-migrating) homes.
+    pub fn with_static_homes(mut self) -> Self {
+        self.first_touch = false;
+        self
+    }
+
+    /// Same configuration with a different cluster size.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Same configuration with a different notification mechanism.
+    pub fn with_notify(mut self, notify: Notify) -> Self {
+        self.notify = notify;
+        self
+    }
+}
+
+/// Everything a parallel run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-node counters and timings. `sequential_time_ns` is zero here;
+    /// [`run_experiment`] fills it in.
+    pub stats: RunStats,
+    /// Final authoritative memory image.
+    pub image: MemImage,
+}
+
+/// Run `program` on the simulated cluster under `cfg`.
+pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
+    let layout = Layout::new(program.shared_bytes(), cfg.block_size);
+    let pcfg = ProtoConfig {
+        nodes: cfg.nodes,
+        layout,
+        protocol: cfg.protocol,
+        notify: cfg.notify,
+        cost: cfg.cost.clone(),
+        latency: cfg.latency.clone(),
+        poll_inflation_pct: program.poll_inflation_pct(),
+        first_touch: cfg.first_touch,
+    };
+    let mut world = ProtoWorld::new(pcfg);
+    let mut golden = MemImage::new(layout.size());
+    program.init(&mut golden);
+    world.load_golden(golden.bytes());
+
+    let inflation = match cfg.notify {
+        Notify::Polling => program.poll_inflation_pct(),
+        Notify::Interrupt => 0,
+    };
+    let bodies: Vec<NodeBody<ProtoWorld>> = (0..cfg.nodes)
+        .map(|_| {
+            let prog = Arc::clone(&program);
+            Box::new(move |ctx: &mut NodeCtx<ProtoWorld>| {
+                let mut t = DsmThread::new(ctx, inflation);
+                prog.warmup(&mut t);
+                t.barrier(WARMUP_BARRIER);
+                t.begin_measurement();
+                prog.run(&mut t);
+                t.flush();
+            }) as NodeBody<ProtoWorld>
+        })
+        .collect();
+
+    let (world, end) = run_cluster(world, bodies);
+    RunOutcome {
+        stats: RunStats {
+            per_node: world.stats.clone(),
+            parallel_time_ns: end.saturating_sub(world.measure_start),
+            sequential_time_ns: 0,
+        },
+        image: MemImage::from_bytes(final_image(&world)),
+    }
+}
+
+/// Run `program` sequentially (one node, plain memory). Returns the final
+/// image and the modeled execution time.
+pub fn run_sequential(program: &dyn DsmProgram) -> (MemImage, u64) {
+    let layout = Layout::new(program.shared_bytes(), 4096);
+    let mut golden = MemImage::new(layout.size());
+    program.init(&mut golden);
+    let mut d = SeqDsm::new(golden);
+    program.warmup(&mut d);
+    d.begin_measurement();
+    program.run(&mut d);
+    let t = d.time_ns();
+    (d.into_image(), t)
+}
+
+/// Barrier id reserved for the warm-up/measurement boundary.
+pub const WARMUP_BARRIER: usize = 990_001;
+
+/// A complete experiment: parallel run + sequential baseline + verification.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Program name.
+    pub name: String,
+    /// The configuration used.
+    pub config: RunConfig,
+    /// Statistics with the sequential baseline filled in.
+    pub stats: RunStats,
+    /// Result of checking the parallel image against the sequential one.
+    pub check: Result<(), String>,
+}
+
+impl ExperimentResult {
+    /// Parallel speedup over the sequential baseline.
+    pub fn speedup(&self) -> f64 {
+        self.stats.speedup()
+    }
+}
+
+/// Run the full experiment for one (program, configuration) pair.
+pub fn run_experiment(cfg: &RunConfig, program: Program) -> ExperimentResult {
+    let (seq_img, seq_t) = run_sequential(program.as_ref());
+    let mut out = run_parallel(cfg, Arc::clone(&program));
+    out.stats.sequential_time_ns = seq_t;
+    let check = program.check(&seq_img, &out.image);
+    ExperimentResult {
+        name: program.name(),
+        config: cfg.clone(),
+        stats: out.stats,
+        check,
+    }
+}
+
+/// Convenience: assert-checked experiment used across the test suite.
+pub fn run_checked(cfg: &RunConfig, program: Program) -> ExperimentResult {
+    let r = run_experiment(cfg, program);
+    if let Err(e) = &r.check {
+        panic!(
+            "{} under {:?}@{}: parallel result mismatch: {e}",
+            r.name, cfg.protocol, cfg.block_size
+        );
+    }
+    r
+}

@@ -1,0 +1,105 @@
+//! The sequential runner: the same program body on one node against plain
+//! memory — the speedup baseline.
+
+use dsm_net::CostModel;
+
+use crate::api::Dsm;
+use crate::image::MemImage;
+
+/// Sequential [`Dsm`] implementation: direct memory, modeled time, no
+/// protocol, no polling overhead (the paper's baselines run uninstrumented).
+pub struct SeqDsm {
+    mem: MemImage,
+    time_ns: u64,
+    cost: CostModel,
+}
+
+impl SeqDsm {
+    /// Start from a golden image.
+    pub fn new(mem: MemImage) -> Self {
+        SeqDsm { mem, time_ns: 0, cost: CostModel::default() }
+    }
+
+    /// Start from a golden image with explicit platform costs.
+    pub fn with_cost(mem: MemImage, cost: CostModel) -> Self {
+        SeqDsm { mem, time_ns: 0, cost }
+    }
+
+    /// Modeled sequential execution time so far, in ns.
+    pub fn time_ns(&self) -> u64 {
+        self.time_ns
+    }
+
+    /// Final memory image.
+    pub fn into_image(self) -> MemImage {
+        self.mem
+    }
+
+    fn access_cost(&self, len: usize) -> u64 {
+        len.div_ceil(8) as u64 * self.cost.local_access_ns
+    }
+}
+
+impl Dsm for SeqDsm {
+    fn node(&self) -> usize {
+        0
+    }
+
+    fn begin_measurement(&mut self) {
+        self.time_ns = 0;
+    }
+
+    fn num_nodes(&self) -> usize {
+        1
+    }
+
+    fn compute(&mut self, ns: u64) {
+        self.time_ns += ns;
+    }
+
+    fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        self.time_ns += self.access_cost(buf.len());
+        buf.copy_from_slice(&self.mem.bytes()[addr..addr + buf.len()]);
+    }
+
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        self.time_ns += self.access_cost(data.len());
+        self.mem.bytes_mut()[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    fn lock(&mut self, _l: usize) {
+        // Uncontended user-level lock: a couple of atomic ops.
+        self.time_ns += 100;
+    }
+
+    fn unlock(&mut self, _l: usize) {
+        self.time_ns += 100;
+    }
+
+    fn barrier(&mut self, _b: usize) {
+        // Single participant: falls straight through.
+        self.time_ns += 100;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_time_for_compute_and_accesses() {
+        let mut d = SeqDsm::new(MemImage::new(64));
+        d.compute(1_000);
+        d.write_u64(0, 5);
+        assert_eq!(d.read_u64(0), 5);
+        let per_word = CostModel::default().local_access_ns;
+        assert_eq!(d.time_ns(), 1_000 + 2 * per_word);
+    }
+
+    #[test]
+    fn single_node_identity() {
+        let d = SeqDsm::new(MemImage::new(8));
+        assert_eq!(d.node(), 0);
+        assert_eq!(d.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-node data copies of the shared space.
+//!
+//! Every node caches the shared space in local memory (the SVM analogue of
+//! mapping shared pages to local physical frames). The protocol layer moves
+//! block contents between copies; applications read and write through their
+//! node's copy only after the access-control check passes, so a protocol bug
+//! that fails to move data surfaces as a wrong application result.
+
+use crate::layout::Layout;
+
+/// All nodes' local copies of the shared address space.
+#[derive(Debug, Clone)]
+pub struct DataStore {
+    layout: Layout,
+    /// Node-major flat storage: node `n`'s copy is
+    /// `bytes[n*size .. (n+1)*size]`.
+    bytes: Vec<u8>,
+    n_nodes: usize,
+}
+
+impl DataStore {
+    /// Zero-filled copies for `n_nodes` nodes.
+    pub fn new(n_nodes: usize, layout: Layout) -> Self {
+        DataStore {
+            layout,
+            bytes: vec![0u8; n_nodes * layout.size()],
+            n_nodes,
+        }
+    }
+
+    /// The layout this store was built with.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Immutable view of one node's copy.
+    #[inline]
+    pub fn node(&self, node: usize) -> &[u8] {
+        let s = self.layout.size();
+        &self.bytes[node * s..(node + 1) * s]
+    }
+
+    /// Mutable view of one node's copy.
+    #[inline]
+    pub fn node_mut(&mut self, node: usize) -> &mut [u8] {
+        let s = self.layout.size();
+        &mut self.bytes[node * s..(node + 1) * s]
+    }
+
+    /// Copy block `b` from `src` node's copy into `dst` node's copy.
+    pub fn copy_block(&mut self, b: usize, src: usize, dst: usize) {
+        if src == dst {
+            return;
+        }
+        let r = self.layout.block_range(b);
+        let s = self.layout.size();
+        let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+        let (a, bslice) = self.bytes.split_at_mut(hi * s);
+        let lo_block = &mut a[lo * s + r.start..lo * s + r.end];
+        let hi_block = &mut bslice[r.clone()];
+        if src < dst {
+            hi_block.copy_from_slice(lo_block);
+        } else {
+            lo_block.copy_from_slice(hi_block);
+        }
+    }
+
+    /// Copy an arbitrary byte range between two nodes' copies.
+    pub fn copy_range(&mut self, range: std::ops::Range<usize>, src: usize, dst: usize) {
+        if src == dst || range.is_empty() {
+            return;
+        }
+        let s = self.layout.size();
+        let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+        let (a, bslice) = self.bytes.split_at_mut(hi * s);
+        let lo_part = &mut a[lo * s + range.start..lo * s + range.end];
+        let hi_part = &mut bslice[range.clone()];
+        if src < dst {
+            hi_part.copy_from_slice(lo_part);
+        } else {
+            lo_part.copy_from_slice(hi_part);
+        }
+    }
+
+    /// Load every node's copy from a golden image (run setup).
+    pub fn broadcast_image(&mut self, image: &[u8]) {
+        assert_eq!(image.len(), self.layout.size());
+        for n in 0..self.n_nodes {
+            self.node_mut(n).copy_from_slice(image);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DataStore {
+        DataStore::new(3, Layout::new(256, 64))
+    }
+
+    #[test]
+    fn copies_are_independent() {
+        let mut d = store();
+        d.node_mut(0)[10] = 42;
+        assert_eq!(d.node(0)[10], 42);
+        assert_eq!(d.node(1)[10], 0);
+    }
+
+    #[test]
+    fn copy_block_moves_only_that_block() {
+        let mut d = store();
+        d.node_mut(0)[64..128].fill(7);
+        d.node_mut(0)[0..64].fill(9);
+        d.copy_block(1, 0, 2);
+        assert!(d.node(2)[64..128].iter().all(|&x| x == 7));
+        assert!(d.node(2)[0..64].iter().all(|&x| x == 0));
+        // And in the other direction.
+        d.node_mut(2)[64..128].fill(3);
+        d.copy_block(1, 2, 0);
+        assert!(d.node(0)[64..128].iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn copy_range_partial() {
+        let mut d = store();
+        d.node_mut(1)[100..110].fill(5);
+        d.copy_range(100..110, 1, 0);
+        assert!(d.node(0)[100..110].iter().all(|&x| x == 5));
+        assert_eq!(d.node(0)[110], 0);
+        assert_eq!(d.node(0)[99], 0);
+    }
+
+    #[test]
+    fn broadcast_image_fills_all_nodes() {
+        let mut d = store();
+        let img: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        d.broadcast_image(&img);
+        for n in 0..3 {
+            assert_eq!(d.node(n), &img[..]);
+        }
+    }
+
+    #[test]
+    fn copy_to_self_is_noop() {
+        let mut d = store();
+        d.node_mut(1)[0] = 1;
+        d.copy_block(0, 1, 1);
+        assert_eq!(d.node(1)[0], 1);
+    }
+}

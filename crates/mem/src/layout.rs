@@ -1,0 +1,118 @@
+//! Block layout of the shared virtual address space.
+
+/// Index of a coherence block within the shared space.
+pub type BlockId = usize;
+
+/// The four coherence granularities studied in the paper, in bytes.
+pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
+
+/// Shared address space layout: total size and coherence block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    size: usize,
+    block: usize,
+}
+
+impl Layout {
+    /// Create a layout. `block` must be a power of two; `size` is rounded up
+    /// to a whole number of blocks.
+    pub fn new(size: usize, block: usize) -> Self {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        assert!(block >= 8, "block size must be at least a word");
+        let size = size.div_ceil(block) * block;
+        assert!(size > 0, "empty shared space");
+        Layout { size, block }
+    }
+
+    /// Total bytes of shared space.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Coherence block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Number of coherence blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.size / self.block
+    }
+
+    /// Block containing byte address `addr`.
+    #[inline]
+    pub fn block_of(&self, addr: usize) -> BlockId {
+        debug_assert!(addr < self.size, "address {addr:#x} out of shared space");
+        addr / self.block
+    }
+
+    /// Byte range of block `b`.
+    #[inline]
+    pub fn block_range(&self, b: BlockId) -> std::ops::Range<usize> {
+        let start = b * self.block;
+        start..start + self.block
+    }
+
+    /// Iterator over the blocks overlapping `[addr, addr+len)`.
+    pub fn blocks_covering(
+        &self,
+        addr: usize,
+        len: usize,
+    ) -> impl Iterator<Item = BlockId> + use<> {
+        assert!(len > 0, "zero-length access");
+        assert!(
+            addr + len <= self.size,
+            "access [{addr:#x}, {:#x}) out of shared space of {} bytes",
+            addr + len,
+            self.size
+        );
+        let first = addr / self.block;
+        let last = (addr + len - 1) / self.block;
+        first..=last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_size_up_to_blocks() {
+        let l = Layout::new(100, 64);
+        assert_eq!(l.size(), 128);
+        assert_eq!(l.num_blocks(), 2);
+    }
+
+    #[test]
+    fn block_of_and_range() {
+        let l = Layout::new(4096, 256);
+        assert_eq!(l.block_of(0), 0);
+        assert_eq!(l.block_of(255), 0);
+        assert_eq!(l.block_of(256), 1);
+        assert_eq!(l.block_range(3), 768..1024);
+    }
+
+    #[test]
+    fn blocks_covering_spans() {
+        let l = Layout::new(4096, 256);
+        let v: Vec<_> = l.blocks_covering(250, 10).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<_> = l.blocks_covering(256, 256).collect();
+        assert_eq!(v, vec![1]);
+        let v: Vec<_> = l.blocks_covering(0, 1024).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Layout::new(1024, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of shared space")]
+    fn rejects_out_of_range_access() {
+        let l = Layout::new(1024, 64);
+        let _ = l.blocks_covering(1020, 8).count();
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Shared-address-space substrate for the DSM reproduction: block layout at
+//! a configurable coherence granularity, per-node access-control state
+//! (the Typhoon-0 role), the home directory with first-touch migration, and
+//! a bump allocator for carving the shared heap.
+
+pub mod alloc;
+pub mod data;
+pub mod home;
+pub mod layout;
+pub mod state;
+
+pub use alloc::BumpAlloc;
+pub use data::DataStore;
+pub use home::HomeDirectory;
+pub use layout::{BlockId, Layout, GRANULARITIES};
+pub use state::{Access, AccessTable};

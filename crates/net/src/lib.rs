@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Platform model: Myrinet-calibrated network latency plus node-side cost
+//! constants for the simulated testbed.
+//!
+//! The paper's §3 microbenchmarks give round-trip times of 40, 61, 100, 256
+//! and 876 µs for 4-, 64-, 256-, 1K- and 4K-byte messages and ~17 MB/s of
+//! large-message bandwidth on the 16-node SPARCstation-20 / Myrinet / LANai
+//! platform. [`LatencyModel`] interpolates those calibration points so the
+//! simulated network reproduces the published microbenchmark exactly at the
+//! calibrated sizes.
+//!
+//! [`CostModel`] collects the remaining platform constants: the Typhoon-0
+//! fine-grain access fault cost (5 µs), message-handler occupancy, memory
+//! copy / diff scan costs, and the polling-vs-interrupt notification
+//! parameters from §5.4.
+
+pub mod cost;
+pub mod latency;
+pub mod notify;
+
+pub use cost::CostModel;
+pub use latency::LatencyModel;
+pub use notify::Notify;
+
+/// Size in bytes of a protocol message header (source, dest, op, block id,
+/// timestamps digest). All control messages are at least this large.
+pub const MSG_HEADER_BYTES: u64 = 16;
+
+/// Size in bytes of one write notice entry carried in lock grants and
+/// barrier releases (block id + version/timestamp + owner hint).
+pub const WRITE_NOTICE_BYTES: u64 = 12;
+
+/// Size in bytes of one vector-timestamp entry.
+pub const VT_ENTRY_BYTES: u64 = 4;

@@ -1,0 +1,114 @@
+//! Protocol/run configuration.
+
+use dsm_net::{CostModel, LatencyModel, Notify};
+use dsm_mem::Layout;
+
+/// The three consistency protocols studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Sequential consistency (Stache-style directory, §2.1).
+    Sc,
+    /// Single-writer lazy release consistency (§2.2).
+    SwLrc,
+    /// Home-based lazy release consistency (§2.3).
+    Hlrc,
+}
+
+impl Protocol {
+    /// All protocols in presentation order.
+    pub const ALL: [Protocol; 3] = [Protocol::Sc, Protocol::SwLrc, Protocol::Hlrc];
+
+    /// Short name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Sc => "SC",
+            Protocol::SwLrc => "SW-LRC",
+            Protocol::Hlrc => "HLRC",
+        }
+    }
+
+    /// True for the two release-consistent protocols.
+    pub fn is_lrc(self) -> bool {
+        !matches!(self, Protocol::Sc)
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(Protocol::Sc),
+            "sw-lrc" | "swlrc" | "sw" => Ok(Protocol::SwLrc),
+            "hlrc" | "hl" => Ok(Protocol::Hlrc),
+            other => Err(format!("unknown protocol: {other}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of a protocol world.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Cluster size (the paper uses 16).
+    pub nodes: usize,
+    /// Shared space layout (size + coherence granularity).
+    pub layout: Layout,
+    /// Which consistency protocol to run.
+    pub protocol: Protocol,
+    /// Message notification mechanism.
+    pub notify: Notify,
+    /// Platform cost constants.
+    pub cost: CostModel,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Polling compute-inflation percentage for this application (paper:
+    /// app-dependent, up to 55% for LU).
+    pub poll_inflation_pct: u32,
+    /// First-touch home migration (the paper's policy). When false, homes
+    /// stay statically round-robin assigned — the ablation baseline.
+    pub first_touch: bool,
+}
+
+impl ProtoConfig {
+    /// A 16-node configuration with default platform parameters.
+    pub fn new(layout: Layout, protocol: Protocol, notify: Notify) -> Self {
+        let cost = CostModel::default();
+        let poll = cost.poll_inflation_pct;
+        ProtoConfig {
+            nodes: 16,
+            layout,
+            protocol,
+            notify,
+            cost,
+            latency: LatencyModel::default(),
+            poll_inflation_pct: poll,
+            first_touch: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_and_parse() {
+        for p in Protocol::ALL {
+            assert_eq!(p.name().parse::<Protocol>().unwrap(), p);
+        }
+        assert_eq!("hlrc".parse::<Protocol>().unwrap(), Protocol::Hlrc);
+        assert!("mesi".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn lrc_classification() {
+        assert!(!Protocol::Sc.is_lrc());
+        assert!(Protocol::SwLrc.is_lrc());
+        assert!(Protocol::Hlrc.is_lrc());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The paper's core contribution: three software coherence protocols —
+//! sequential consistency (SC), single-writer lazy release consistency
+//! (SW-LRC) and home-based lazy release consistency (HLRC) — running at a
+//! configurable coherence granularity over the simulated cluster.
+//!
+//! The crate exposes:
+//!
+//! * [`ProtoWorld`] — all shared protocol state, pluggable into the
+//!   simulation engine as its [`dsm_sim::World`];
+//! * [`ops`] — node-side access-check and fault entry points;
+//! * [`sync`] — protocol-aware locks and barriers;
+//! * [`Protocol`] / [`ProtoConfig`] — run configuration.
+
+pub mod config;
+pub mod diff;
+pub mod hlrc;
+pub mod lrc;
+pub mod msg;
+pub mod ops;
+pub mod sc;
+pub mod swlrc;
+pub mod sync;
+pub mod trace;
+pub mod vt;
+pub mod world;
+
+pub use config::{ProtoConfig, Protocol};
+pub use diff::Diff;
+pub use msg::{Envelope, FaultKind, Notice, ProtoMsg};
+pub use ops::Attempt;
+pub use vt::VClock;
+pub use world::{final_image, ProtoWorld};

@@ -1,0 +1,156 @@
+//! Machinery shared by the two lazy-release-consistency protocols:
+//! the global write-notice log, release-time actions, and acquire-time
+//! notice application.
+
+use dsm_sim::{NodeId, Sched, Time};
+
+use crate::config::Protocol;
+use crate::msg::{Envelope, Notice};
+use crate::vt::VClock;
+use crate::world::ProtoWorld;
+use crate::{hlrc, swlrc};
+
+/// The global interval log: `log[node][k-1]` holds the write notices of
+/// node `node`'s interval `k`.
+///
+/// The log is conceptually distributed (each node owns its own intervals);
+/// it is stored centrally for implementation convenience, but it is only
+/// ever *read* on behalf of a node that causally knows the interval — a lock
+/// grant or barrier release computes exactly the interval set
+/// `have[j] < k <= upto[j]` where `upto` is the releaser's vector time, so
+/// every read is backed by information the releaser legitimately has.
+#[derive(Debug, Default)]
+pub struct NoticeLog {
+    per_node: Vec<Vec<Vec<Notice>>>,
+}
+
+impl NoticeLog {
+    /// Empty log for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NoticeLog {
+            per_node: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Append `notices` as node `node`'s interval `interval` (must be the
+    /// next interval in sequence).
+    pub fn push_interval(&mut self, node: NodeId, interval: u32, notices: Vec<Notice>) {
+        let v = &mut self.per_node[node];
+        assert_eq!(
+            v.len() + 1,
+            interval as usize,
+            "interval log out of sequence for node {node}"
+        );
+        v.push(notices);
+    }
+
+    /// Collect the notices of the given `(node, interval)` pairs.
+    pub fn collect(&self, pairs: &[(usize, u32)]) -> Vec<Notice> {
+        let mut out = Vec::new();
+        for &(j, k) in pairs {
+            out.extend_from_slice(&self.per_node[j][(k - 1) as usize]);
+        }
+        out
+    }
+
+    /// Number of intervals logged for a node.
+    pub fn intervals(&self, node: NodeId) -> usize {
+        self.per_node[node].len()
+    }
+}
+
+/// Perform the release-time protocol actions for `me` (called on lock
+/// release and barrier arrival): close the current interval, version/diff
+/// the dirty blocks, and log the interval's write notices.
+///
+/// Returns the local processing time (twin scans, diff creation) the calling
+/// thread must charge before its release message departs.
+pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId) -> Time {
+    match w.cfg.protocol {
+        Protocol::Sc => 0,
+        Protocol::SwLrc => {
+            let interval = w.nodes[me].vt.tick(me);
+            let notices = swlrc::release_dirty(w, me);
+            w.log.push_interval(me, interval, notices);
+            0
+        }
+        Protocol::Hlrc => {
+            let interval = w.nodes[me].vt.tick(me);
+            let (notices, elapsed) = hlrc::release_dirty(w, s, me, interval);
+            w.log.push_interval(me, interval, notices);
+            elapsed
+        }
+    }
+}
+
+/// Apply acquire-time consistency information (from a lock grant or barrier
+/// release): merge the vector time and process the write notices.
+///
+/// Returns the processing time to add before the acquirer resumes.
+pub fn acquire_actions(
+    w: &mut ProtoWorld,
+    s: &mut Sched<Envelope>,
+    me: NodeId,
+    vt: Option<&VClock>,
+    notices: &[Notice],
+) -> Time {
+    let Some(vt) = vt else {
+        return 0; // SC: no consistency actions at acquires
+    };
+    w.nodes[me].vt.merge(vt);
+    w.stats[me].write_notices_recv += notices.len() as u64;
+    let mut elapsed = notices.len() as Time * NOTICE_PROC_NS;
+    for n in notices {
+        if n.writer == me {
+            continue;
+        }
+        elapsed += match w.cfg.protocol {
+            Protocol::SwLrc => swlrc::apply_notice(w, me, n),
+            Protocol::Hlrc => hlrc::apply_notice(w, s, me, n),
+            Protocol::Sc => unreachable!("SC grant carried a vector time"),
+        };
+    }
+    elapsed
+}
+
+/// Per-notice fixed processing cost at the acquirer (table walk + state
+/// change), in ns.
+pub const NOTICE_PROC_NS: Time = 200;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn notice(b: usize, w: usize, v: u32) -> Notice {
+        Notice { block: b, writer: w, version: v }
+    }
+
+    #[test]
+    fn log_appends_in_sequence() {
+        let mut l = NoticeLog::new(2);
+        l.push_interval(0, 1, vec![notice(1, 0, 1)]);
+        l.push_interval(0, 2, vec![]);
+        l.push_interval(1, 1, vec![notice(2, 1, 1)]);
+        assert_eq!(l.intervals(0), 2);
+        assert_eq!(l.intervals(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sequence")]
+    fn log_rejects_gaps() {
+        let mut l = NoticeLog::new(1);
+        l.push_interval(0, 2, vec![]);
+    }
+
+    #[test]
+    fn collect_concatenates_requested_intervals() {
+        let mut l = NoticeLog::new(2);
+        l.push_interval(0, 1, vec![notice(1, 0, 1)]);
+        l.push_interval(0, 2, vec![notice(2, 0, 2), notice(3, 0, 2)]);
+        l.push_interval(1, 1, vec![notice(9, 1, 1)]);
+        let got = l.collect(&[(0, 2), (1, 1)]);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].block, 2);
+        assert_eq!(got[2].block, 9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Protocol messages routed through the simulation event queue.
+
+use dsm_mem::BlockId;
+use dsm_sim::NodeId;
+
+use crate::diff::Diff;
+use crate::vt::VClock;
+
+/// A write notice: "node `writer` modified `block`; its copy is stale unless
+/// at least `version`".
+///
+/// For SW-LRC, `version` is the block's global version counter and `writer`
+/// doubles as the new-owner hint. For HLRC, `version` is the writer's
+/// interval index and the fetch must wait until the home has applied that
+/// interval's diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notice {
+    /// Block the notice covers.
+    pub block: BlockId,
+    /// The writing node.
+    pub writer: NodeId,
+    /// Version (SW-LRC) or writer interval (HLRC).
+    pub version: u32,
+}
+
+/// Fault kind, used in requests that behave differently for loads and
+/// stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Load fault.
+    Read,
+    /// Store fault.
+    Write,
+}
+
+/// All protocol messages. One enum covers the three protocols; each protocol
+/// only ever sends its own subset.
+///
+/// Field meanings are uniform across variants: `from` is the sending node,
+/// `block` the coherence block, `vt` a vector timestamp, `home`/`owner` a
+/// node id the receiver should cache, and `hops` a forwarding count.
+#[allow(missing_docs)]
+#[derive(Debug, Clone)]
+pub enum ProtoMsg {
+    // ---- SC (Stache-style directory) ----
+    /// Requester -> home: read miss.
+    ScReadReq { from: NodeId, block: BlockId },
+    /// Requester -> home: write miss or upgrade.
+    ScWriteReq { from: NodeId, block: BlockId },
+    /// Home -> exclusive owner: downgrade and write back (read miss at a
+    /// third node).
+    ScFetchBack { block: BlockId },
+    /// Home -> sharer/owner: invalidate (write miss elsewhere).
+    ScInval { block: BlockId },
+    /// Owner -> home: block data written back (carries block payload);
+    /// `invalidated` tells the home whether the owner dropped (true) or
+    /// downgraded (false) its copy.
+    ScWriteBack { from: NodeId, block: BlockId, invalidated: bool },
+    /// Sharer -> home: invalidation acknowledged (no data).
+    ScInvalAck { from: NodeId, block: BlockId },
+    /// Home -> requester: grant. `with_data` carries the block payload;
+    /// `exclusive` grants write access. `home` lets the requester cache the
+    /// resolved home. Wakes the requester.
+    ScGrant {
+        block: BlockId,
+        exclusive: bool,
+        with_data: bool,
+        home: NodeId,
+    },
+    /// Directory -> requester: the requester claimed the block by first
+    /// touch and is now its home. Wakes the requester.
+    ScNowHome { block: BlockId, kind: FaultKind },
+    /// Requester -> home: grant received and installed. The home keeps the
+    /// directory entry busy until this arrives, which serializes grants
+    /// against later invalidations of the same block (no grant/inval race).
+    ScGrantAck { from: NodeId, block: BlockId },
+
+    // ---- SW-LRC ----
+    /// Requester -> believed owner (forwarded along hint chains).
+    SwReq {
+        from: NodeId,
+        block: BlockId,
+        kind: FaultKind,
+        /// Hop count so far, for forwarding statistics.
+        hops: u32,
+    },
+    /// Owner -> requester: block data (+version); for `Write` requests this
+    /// also transfers ownership. Wakes the requester.
+    SwReply {
+        block: BlockId,
+        version: u32,
+        ownership: bool,
+        owner: NodeId,
+    },
+    /// Directory -> requester: block was unowned; requester claimed
+    /// ownership (store touch). Wakes the requester.
+    SwNowOwner { block: BlockId },
+
+    // ---- HLRC ----
+    /// Requester -> home: fetch block contents. `needs` lists the
+    /// (writer, interval) diffs the reply must already include.
+    HlFetchReq {
+        from: NodeId,
+        block: BlockId,
+        kind: FaultKind,
+        needs: Vec<(NodeId, u32)>,
+    },
+    /// Home -> requester: block data. Wakes the requester.
+    HlData { block: BlockId, home: NodeId },
+    /// Writer -> home: eager diff at release.
+    HlDiff {
+        from: NodeId,
+        block: BlockId,
+        diff: Diff,
+        interval: u32,
+    },
+    /// Directory -> requester: block was unclaimed; the requester's store
+    /// touch claimed the home. Wakes the requester.
+    HlNowHome { block: BlockId },
+
+    // ---- Synchronization (all protocols) ----
+    /// Requester -> lock manager. `vt` present for the LRC protocols.
+    LockReq {
+        from: NodeId,
+        lock: usize,
+        vt: Option<VClock>,
+    },
+    /// Manager -> new holder: lock granted, with consistency information.
+    /// Wakes the requester.
+    LockGrant {
+        lock: usize,
+        vt: Option<VClock>,
+        notices: Vec<Notice>,
+    },
+    /// Holder -> manager: lock released.
+    LockRel {
+        from: NodeId,
+        lock: usize,
+        vt: Option<VClock>,
+    },
+    /// Participant -> barrier manager.
+    BarArrive {
+        from: NodeId,
+        barrier: usize,
+        vt: Option<VClock>,
+    },
+    /// Manager -> participant: everyone arrived. Wakes the participant.
+    BarRelease {
+        barrier: usize,
+        vt: Option<VClock>,
+        notices: Vec<Notice>,
+    },
+}
+
+/// Envelope adding one-shot service-time deferral (polling/interrupt model).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// The payload.
+    pub msg: ProtoMsg,
+    /// True once the service time has been computed (prevents re-deferral).
+    pub deferred: bool,
+}
+
+impl Envelope {
+    /// Fresh envelope, subject to notification-model deferral.
+    pub fn new(msg: ProtoMsg) -> Self {
+        Envelope { msg, deferred: false }
+    }
+
+    /// Envelope that is processed at its arrival time (replies to spinning
+    /// nodes, self-posts, already-deferred requests).
+    pub fn immediate(msg: ProtoMsg) -> Self {
+        Envelope { msg, deferred: true }
+    }
+}
+
+impl ProtoMsg {
+    /// Whether this message is an asynchronous *request* whose service time
+    /// depends on the target's notification mechanism. Replies that wake a
+    /// spinning (blocked) requester are never deferred.
+    pub fn needs_service(&self) -> bool {
+        matches!(
+            self,
+            ProtoMsg::ScReadReq { .. }
+                | ProtoMsg::ScWriteReq { .. }
+                | ProtoMsg::ScFetchBack { .. }
+                | ProtoMsg::ScInval { .. }
+                | ProtoMsg::SwReq { .. }
+                | ProtoMsg::HlFetchReq { .. }
+                | ProtoMsg::HlDiff { .. }
+                | ProtoMsg::LockReq { .. }
+                | ProtoMsg::LockRel { .. }
+                | ProtoMsg::BarArrive { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_need_service_replies_do_not() {
+        assert!(ProtoMsg::ScReadReq { from: 0, block: 1 }.needs_service());
+        assert!(ProtoMsg::ScInval { block: 1 }.needs_service());
+        assert!(!ProtoMsg::ScGrant {
+            block: 1,
+            exclusive: false,
+            with_data: true,
+            home: 0
+        }
+        .needs_service());
+        assert!(!ProtoMsg::ScInvalAck { from: 0, block: 1 }.needs_service());
+        assert!(!ProtoMsg::ScWriteBack { from: 0, block: 1, invalidated: true }.needs_service());
+    }
+
+    #[test]
+    fn envelope_deferral_flags() {
+        let e = Envelope::new(ProtoMsg::ScInval { block: 0 });
+        assert!(!e.deferred);
+        let e2 = Envelope::immediate(ProtoMsg::ScInval { block: 0 });
+        assert!(e2.deferred);
+    }
+}

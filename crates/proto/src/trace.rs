@@ -1,0 +1,54 @@
+//! Lightweight event tracing for protocol debugging.
+//!
+//! Set `DSM_TRACE=<node>:<block>` (e.g. `DSM_TRACE=7:158`) to print every
+//! traced protocol event touching that (node, block) pair; `DSM_TRACE=all`
+//! traces everything (very verbose). Tracing costs one atomic load when
+//! disabled.
+
+use std::sync::OnceLock;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Filter {
+    Off,
+    All,
+    One(usize, usize),
+}
+
+fn filter() -> Filter {
+    static F: OnceLock<Filter> = OnceLock::new();
+    *F.get_or_init(|| match std::env::var("DSM_TRACE") {
+        Err(_) => Filter::Off,
+        Ok(v) if v == "all" => Filter::All,
+        Ok(v) => {
+            let mut it = v.splitn(2, ':');
+            match (
+                it.next().and_then(|x| x.parse().ok()),
+                it.next().and_then(|x| x.parse().ok()),
+            ) {
+                (Some(n), Some(b)) => Filter::One(n, b),
+                _ => Filter::Off,
+            }
+        }
+    })
+}
+
+/// True when events for `(node, block)` should be printed.
+#[inline]
+pub fn on(node: usize, block: usize) -> bool {
+    match filter() {
+        Filter::Off => false,
+        Filter::All => true,
+        Filter::One(n, b) => n == node && b == block,
+    }
+}
+
+/// Print a trace line for a (node, block) event if tracing matches.
+#[macro_export]
+macro_rules! ptrace {
+    ($now:expr, $node:expr, $block:expr, $($arg:tt)*) => {
+        if $crate::trace::on($node, $block) {
+            eprint!("[{:>12}] n{} b{}: ", $now, $node, $block);
+            eprintln!($($arg)*);
+        }
+    };
+}

@@ -1,0 +1,140 @@
+//! Vector timestamps for the lazy release consistency protocols.
+
+/// A vector clock over cluster nodes.
+///
+/// `v[i]` counts the intervals of node `i` that are known to
+/// happen-before the owner's current logical time. Intervals are delimited
+/// by release operations (lock releases and barrier arrivals), per Keleher's
+/// LRC formulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no entries (unused in practice; clusters are
+    /// non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component for node `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+
+    /// Increment node `i`'s own component (start of a new interval) and
+    /// return the new interval index.
+    pub fn tick(&mut self, i: usize) -> u32 {
+        self.0[i] += 1;
+        self.0[i]
+    }
+
+    /// Element-wise maximum: merge knowledge from another clock.
+    pub fn merge(&mut self, other: &VClock) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True if every component of `self` is ≥ the corresponding component
+    /// of `other` (i.e. `other` happens-before-or-equals `self`).
+    pub fn dominates(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Intervals `(node, idx)` known to `upto` but not to `have`:
+    /// `have[j] < idx <= upto[j]`. This is exactly the set of write-notice
+    /// intervals a grant must carry to an acquirer.
+    pub fn missing_intervals(have: &VClock, upto: &VClock) -> Vec<(usize, u32)> {
+        let mut v = Vec::new();
+        for j in 0..upto.0.len() {
+            for k in (have.0[j] + 1)..=upto.0[j] {
+                v.push((j, k));
+            }
+        }
+        v
+    }
+
+    /// Wire size in bytes (4 bytes per entry).
+    pub fn wire_bytes(&self) -> u64 {
+        4 * self.0.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_increments_own_component() {
+        let mut v = VClock::new(3);
+        assert_eq!(v.tick(1), 1);
+        assert_eq!(v.tick(1), 2);
+        assert_eq!(v.get(1), 2);
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_max() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.merge(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn dominates_is_partial_order() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        assert!(a.dominates(&b) && b.dominates(&a)); // equal
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a)); // concurrent
+        a.merge(&b);
+        assert!(a.dominates(&b));
+    }
+
+    #[test]
+    fn missing_intervals_enumerates_gap() {
+        let mut have = VClock::new(2);
+        let mut upto = VClock::new(2);
+        have.tick(0); // have = [1, 0]
+        upto.tick(0);
+        upto.tick(0);
+        upto.tick(1); // upto = [2, 1]
+        let v = VClock::missing_intervals(&have, &upto);
+        assert_eq!(v, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn merge_then_dominates_both() {
+        let mut a = VClock::new(4);
+        let mut b = VClock::new(4);
+        for _ in 0..3 {
+            a.tick(2);
+        }
+        b.tick(0);
+        b.tick(3);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.dominates(&a));
+        assert!(m.dominates(&b));
+    }
+}

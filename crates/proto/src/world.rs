@@ -1,0 +1,359 @@
+//! The protocol world: all shared protocol state plus message dispatch.
+
+use std::collections::HashMap;
+
+use dsm_mem::{Access, AccessTable, BlockId, DataStore, HomeDirectory};
+use dsm_net::{Notify, MSG_HEADER_BYTES};
+use dsm_sim::{NodeId, Sched, Time, World};
+use dsm_stats::Counters;
+
+use crate::config::{ProtoConfig, Protocol};
+use crate::hlrc::HlState;
+use crate::lrc::NoticeLog;
+use crate::msg::{Envelope, FaultKind, ProtoMsg};
+use crate::sc::ScState;
+use crate::swlrc::SwState;
+use crate::sync::{BarrierState, LockState};
+use crate::vt::VClock;
+use crate::{hlrc, sc, swlrc, sync};
+
+/// Per-node protocol runtime state.
+#[derive(Debug)]
+pub struct NodeRt {
+    /// Vector timestamp (LRC protocols).
+    pub vt: VClock,
+    /// Interrupts-deferred deadline after the node obtained a block
+    /// (delayed-consistency effect of interrupts, §5.4).
+    pub intr_disabled_until: Time,
+    /// Blocks dirtied in the current interval (LRC), deduplicated.
+    pub dirty: Vec<BlockId>,
+    /// HLRC: twins of blocks dirtied this interval (remote blocks only).
+    pub twins: HashMap<BlockId, Vec<u8>>,
+    /// HLRC: blocks whose diff was flushed early (mid-interval, on an
+    /// incoming notice) and must still be announced at the next release.
+    pub flushed_early: Vec<BlockId>,
+    /// SC: the node's outstanding fault, used to detect an invalidation
+    /// racing a read grant (the grant is then discarded and retried).
+    pub pending_fault: Option<(BlockId, FaultKind)>,
+    /// SC: set when an invalidation hit the outstanding fault's block.
+    pub fault_poisoned: bool,
+    /// SC: consecutive retries of the outstanding fault (livelock guard).
+    pub fault_retries: u32,
+}
+
+impl NodeRt {
+    fn new(n: usize) -> Self {
+        NodeRt {
+            vt: VClock::new(n),
+            intr_disabled_until: 0,
+            dirty: Vec::new(),
+            twins: HashMap::new(),
+            flushed_early: Vec::new(),
+            pending_fault: None,
+            fault_poisoned: false,
+            fault_retries: 0,
+        }
+    }
+
+    /// Record a block as dirty in the current interval (idempotent; the
+    /// caller only invokes this on access-state transitions so duplicates
+    /// are already rare; dedup keeps release-time work linear).
+    pub fn mark_dirty(&mut self, b: BlockId) {
+        if !self.dirty.contains(&b) {
+            self.dirty.push(b);
+        }
+    }
+}
+
+/// The complete protocol world, plugged into the simulation engine.
+pub struct ProtoWorld {
+    /// Run configuration.
+    pub cfg: ProtoConfig,
+    /// Every node's local copy of the shared space.
+    pub data: DataStore,
+    /// Per-node per-block access-control state.
+    pub access: AccessTable,
+    /// First-touch home directory.
+    pub homes: HomeDirectory,
+    /// Per-node statistics.
+    pub stats: Vec<Counters>,
+    /// Per-node protocol runtime.
+    pub nodes: Vec<NodeRt>,
+    /// SC directory state.
+    pub sc: ScState,
+    /// SW-LRC ownership state.
+    pub sw: SwState,
+    /// HLRC home state.
+    pub hl: HlState,
+    /// Lock manager state, grown on demand (lock ids are dense).
+    pub locks: Vec<LockState>,
+    /// Barrier manager state, keyed by barrier id (ids may be sparse, e.g.
+    /// the reserved warm-up barrier).
+    pub barriers: HashMap<usize, BarrierState>,
+    /// Global write-notice log indexed by (node, interval).
+    pub log: NoticeLog,
+    /// Virtual time at which measurement began (see the warm-up phase).
+    pub measure_start: Time,
+}
+
+impl ProtoWorld {
+    /// Build a world from a configuration. All access state starts Invalid;
+    /// all node copies start zeroed (use [`ProtoWorld::load_golden`] after
+    /// application setup).
+    pub fn new(cfg: ProtoConfig) -> Self {
+        let n = cfg.nodes;
+        let nb = cfg.layout.num_blocks();
+        let mut homes = HomeDirectory::new(n, nb);
+        if !cfg.first_touch {
+            // Ablation baseline: static round-robin homes, no migration.
+            for b in 0..nb {
+                homes.assign(b, b % n);
+            }
+        }
+        ProtoWorld {
+            data: DataStore::new(n, cfg.layout),
+            access: AccessTable::new(n, nb),
+            homes,
+            stats: vec![Counters::default(); n],
+            nodes: (0..n).map(|_| NodeRt::new(n)).collect(),
+            sc: ScState::new(nb),
+            sw: SwState::new(n, nb),
+            hl: HlState::new(),
+            locks: Vec::new(),
+            barriers: HashMap::new(),
+            log: NoticeLog::new(n),
+            measure_start: 0,
+            cfg,
+        }
+    }
+
+    /// Distribute the golden initial image to every node's copy.
+    ///
+    /// Access state stays Invalid everywhere: cold faults still happen and
+    /// still move (identical) data, so fault and traffic counts are
+    /// faithful while values are trivially correct.
+    pub fn load_golden(&mut self, image: &[u8]) {
+        self.data.broadcast_image(image);
+    }
+
+    /// Block size shorthand.
+    pub fn block_size(&self) -> usize {
+        self.cfg.layout.block_size()
+    }
+
+    /// Ensure lock `l` exists.
+    pub fn lock_mut(&mut self, l: usize) -> &mut LockState {
+        if self.locks.len() <= l {
+            self.locks.resize_with(l + 1, LockState::default);
+        }
+        &mut self.locks[l]
+    }
+
+    /// Ensure barrier `b` exists.
+    pub fn barrier_mut(&mut self, b: usize) -> &mut BarrierState {
+        self.barriers.entry(b).or_default()
+    }
+
+    /// Send a protocol message. `ctrl`/`data` split the payload for traffic
+    /// accounting (both exclude the implicit header, which is added here).
+    /// Self-sends skip the network and its accounting entirely and are
+    /// delivered at `depart` (the local handler turnaround).
+    #[allow(clippy::too_many_arguments)] // (from, to, depart, sizes, msg) is the natural wire signature
+    pub fn send(
+        &mut self,
+        s: &mut Sched<Envelope>,
+        from: NodeId,
+        to: NodeId,
+        depart: Time,
+        ctrl: u64,
+        data: u64,
+        msg: ProtoMsg,
+    ) {
+        if from == to {
+            s.post(to, depart, Envelope::immediate(msg));
+            return;
+        }
+        let st = &mut self.stats[from];
+        st.msgs_sent += 1;
+        st.ctrl_bytes += ctrl + MSG_HEADER_BYTES;
+        st.data_bytes += data;
+        let arrival = depart + self.cfg.latency.one_way(MSG_HEADER_BYTES + ctrl + data);
+        s.post(to, arrival, Envelope::new(msg));
+    }
+
+    /// Charge `cost` ns of request-service occupancy to a node that is
+    /// currently computing (no-op for blocked/done nodes, whose spin loop
+    /// absorbs the work).
+    pub fn occupy(&mut self, s: &mut Sched<Envelope>, node: NodeId, cost: Time) {
+        self.stats[node].service_ns += cost;
+        if let Some(r) = s.resume_at(node) {
+            let now = s.now();
+            s.delay(node, r.max(now) + cost);
+        }
+    }
+
+    /// Mark that `node` just obtained a block (fault completed): under the
+    /// interrupt mechanism further asynchronous requests to it are deferred
+    /// for the grace window.
+    pub fn block_obtained(&mut self, s: &Sched<Envelope>, node: NodeId) {
+        if self.cfg.notify == Notify::Interrupt {
+            self.nodes[node].intr_disabled_until =
+                s.now() + self.cfg.cost.intr_grace_ns;
+        }
+    }
+
+    /// The home a requester should target for a block: the claimed home if
+    /// known, otherwise the static directory node (interim home).
+    pub fn route_home(&self, b: BlockId) -> NodeId {
+        self.homes
+            .home(b)
+            .unwrap_or_else(|| self.homes.directory_node(b))
+    }
+}
+
+impl World for ProtoWorld {
+    type Msg = Envelope;
+
+    fn deliver(&mut self, s: &mut Sched<Envelope>, to: NodeId, env: Envelope) {
+        // One-shot service-time deferral for asynchronous requests arriving
+        // at a node that is busy computing.
+        if !env.deferred && env.msg.needs_service() && !s.is_blocked(to)
+            && s.resume_at(to).is_some() {
+                let svc = self.cfg.cost.async_service_time(
+                    s.now(),
+                    self.cfg.notify,
+                    self.nodes[to].intr_disabled_until,
+                );
+                if svc > s.now() {
+                    if self.cfg.notify == Notify::Interrupt {
+                        self.stats[to].interrupts_taken += 1;
+                    }
+                    s.post(to, svc, Envelope { msg: env.msg, deferred: true });
+                    return;
+                }
+            }
+        // Delayed-consistency extension: coherence-destroying requests
+        // (invalidations, fetch-backs) are additionally deferred by a fixed
+        // window, batching the holder's accesses (Dubois et al.; the
+        // paper's §7 future work). One-shot like the service deferral.
+        if !env.deferred
+            && self.cfg.cost.delayed_inval_ns > 0
+            && matches!(env.msg, ProtoMsg::ScInval { .. } | ProtoMsg::ScFetchBack { .. })
+        {
+            let at = s.now() + self.cfg.cost.delayed_inval_ns;
+            s.post(to, at, Envelope { msg: env.msg, deferred: true });
+            return;
+        }
+        let handler = self.cfg.cost.handler_ns;
+        match env.msg {
+            // SC
+            ProtoMsg::ScReadReq { from, block } => {
+                self.occupy(s, to, handler);
+                sc::handle_request(self, s, to, from, block, FaultKind::Read);
+            }
+            ProtoMsg::ScWriteReq { from, block } => {
+                self.occupy(s, to, handler);
+                sc::handle_request(self, s, to, from, block, FaultKind::Write);
+            }
+            ProtoMsg::ScFetchBack { block } => {
+                self.occupy(s, to, handler);
+                sc::handle_fetch_back(self, s, to, block);
+            }
+            ProtoMsg::ScInval { block } => {
+                self.occupy(s, to, handler);
+                sc::handle_inval(self, s, to, block);
+            }
+            ProtoMsg::ScWriteBack { from, block, invalidated } => {
+                sc::handle_write_back(self, s, to, from, block, invalidated);
+            }
+            ProtoMsg::ScInvalAck { from, block } => {
+                sc::handle_inval_ack(self, s, to, from, block);
+            }
+            ProtoMsg::ScGrant { block, exclusive, with_data, home } => {
+                sc::handle_grant(self, s, to, block, exclusive, with_data, home);
+            }
+            ProtoMsg::ScNowHome { block, kind } => {
+                sc::handle_now_home(self, s, to, block, kind);
+            }
+            ProtoMsg::ScGrantAck { from, block } => {
+                sc::handle_grant_ack(self, s, to, from, block);
+            }
+            // SW-LRC
+            ProtoMsg::SwReq { from, block, kind, hops } => {
+                self.occupy(s, to, handler);
+                swlrc::handle_request(self, s, to, from, block, kind, hops);
+            }
+            ProtoMsg::SwReply { block, version, ownership, owner } => {
+                swlrc::handle_reply(self, s, to, block, version, ownership, owner);
+            }
+            ProtoMsg::SwNowOwner { block } => {
+                swlrc::handle_now_owner(self, s, to, block);
+            }
+            // HLRC
+            ProtoMsg::HlFetchReq { from, block, kind, needs } => {
+                self.occupy(s, to, handler);
+                hlrc::handle_fetch(self, s, to, from, block, kind, needs);
+            }
+            ProtoMsg::HlData { block, home } => {
+                hlrc::handle_data(self, s, to, block, home);
+            }
+            ProtoMsg::HlDiff { from, block, diff, interval } => {
+                hlrc::handle_diff(self, s, to, from, block, diff, interval);
+            }
+            ProtoMsg::HlNowHome { block } => {
+                hlrc::handle_now_home(self, s, to, block);
+            }
+            // Synchronization
+            ProtoMsg::LockReq { from, lock, vt } => {
+                self.occupy(s, to, self.cfg.cost.sync_handler_ns);
+                sync::handle_lock_req(self, s, to, from, lock, vt);
+            }
+            ProtoMsg::LockGrant { lock, vt, notices } => {
+                sync::handle_lock_grant(self, s, to, lock, vt, notices);
+            }
+            ProtoMsg::LockRel { from, lock, vt } => {
+                self.occupy(s, to, self.cfg.cost.sync_handler_ns);
+                sync::handle_lock_rel(self, s, to, from, lock, vt);
+            }
+            ProtoMsg::BarArrive { from, barrier, vt } => {
+                self.occupy(s, to, self.cfg.cost.sync_handler_ns);
+                sync::handle_bar_arrive(self, s, to, from, barrier, vt);
+            }
+            ProtoMsg::BarRelease { barrier, vt, notices } => {
+                sync::handle_bar_release(self, s, to, barrier, vt, notices);
+            }
+        }
+    }
+}
+
+/// Final authoritative memory image after a run (for result verification).
+///
+/// Applications end with a barrier, so under the LRC protocols all diffs are
+/// flushed and home copies are current; under SC the latest copy is the
+/// exclusive owner's (else the home's).
+pub fn final_image(w: &ProtoWorld) -> Vec<u8> {
+    let layout = w.cfg.layout;
+    let mut img = vec![0u8; layout.size()];
+    for b in 0..layout.num_blocks() {
+        let src = match w.cfg.protocol {
+            Protocol::Sc => w
+                .sc
+                .dir(b)
+                .and_then(|d| d.owner)
+                .unwrap_or_else(|| w.route_home(b)),
+            Protocol::SwLrc => w.sw.authoritative(b).unwrap_or_else(|| w.homes.directory_node(b)),
+            Protocol::Hlrc => w.route_home(b),
+        };
+        let r = layout.block_range(b);
+        img[r.clone()].copy_from_slice(&w.data.node(src)[r]);
+    }
+    img
+}
+
+/// Convenience for constructing the access-table `Access` from a fault kind.
+pub fn grant_access(kind: FaultKind) -> Access {
+    match kind {
+        FaultKind::Read => Access::Read,
+        FaultKind::Write => Access::ReadWrite,
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests on the protocol primitives: diffs, vector clocks,
+//! and the latency model.
+
+use dsm_proto::diff::Diff;
+use dsm_proto::vt::VClock;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn diff_apply_reconstructs_current(
+        twin in proptest::collection::vec(any::<u8>(), 1..512),
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..64),
+    ) {
+        let mut current = twin.clone();
+        for (at, v) in edits {
+            let i = at % current.len();
+            current[i] = v;
+        }
+        let d = Diff::create(&twin, &current);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, current);
+    }
+
+    #[test]
+    fn diff_size_bounded_by_changes(
+        twin in proptest::collection::vec(any::<u8>(), 1..256),
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..32),
+    ) {
+        let mut current = twin.clone();
+        for (at, v) in &edits {
+            let i = at % current.len();
+            current[i] = *v;
+        }
+        let changed = twin.iter().zip(&current).filter(|(a, b)| a != b).count() as u64;
+        let d = Diff::create(&twin, &current);
+        prop_assert_eq!(d.data_bytes(), changed);
+        prop_assert!(d.wire_bytes() <= changed * 9); // worst case: isolated runs
+        prop_assert_eq!(d.is_empty(), changed == 0);
+    }
+
+    #[test]
+    fn disjoint_diffs_commute(
+        twin in proptest::collection::vec(any::<u8>(), 64..256),
+        split in 1usize..63,
+    ) {
+        // Writer A changes the prefix, writer B the suffix.
+        let mut a = twin.clone();
+        let mut b = twin.clone();
+        let mid = split.min(twin.len() - 1);
+        for x in &mut a[..mid] {
+            *x = x.wrapping_add(1);
+        }
+        for x in &mut b[mid..] {
+            *x = x.wrapping_add(7);
+        }
+        let da = Diff::create(&twin, &a);
+        let db = Diff::create(&twin, &b);
+        let mut ab = twin.clone();
+        da.apply(&mut ab);
+        db.apply(&mut ab);
+        let mut ba = twin.clone();
+        db.apply(&mut ba);
+        da.apply(&mut ba);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn vclock_merge_laws(
+        a in proptest::collection::vec(0u32..100, 4),
+        b in proptest::collection::vec(0u32..100, 4),
+    ) {
+        let mk = |v: &[u32]| {
+            let mut c = VClock::new(v.len());
+            for (i, &k) in v.iter().enumerate() {
+                for _ in 0..k {
+                    c.tick(i);
+                }
+            }
+            c
+        };
+        let (ca, cb) = (mk(&a), mk(&b));
+        // Commutative.
+        let mut m1 = ca.clone();
+        m1.merge(&cb);
+        let mut m2 = cb.clone();
+        m2.merge(&ca);
+        prop_assert_eq!(&m1, &m2);
+        // Dominates both inputs.
+        prop_assert!(m1.dominates(&ca));
+        prop_assert!(m1.dominates(&cb));
+        // Idempotent.
+        let mut m3 = m1.clone();
+        m3.merge(&m1);
+        prop_assert_eq!(&m3, &m1);
+    }
+
+    #[test]
+    fn missing_intervals_exactly_fill_the_gap(
+        have in proptest::collection::vec(0u32..20, 3),
+        extra in proptest::collection::vec(0u32..20, 3),
+    ) {
+        let mk = |v: &[u32]| {
+            let mut c = VClock::new(v.len());
+            for (i, &k) in v.iter().enumerate() {
+                for _ in 0..k {
+                    c.tick(i);
+                }
+            }
+            c
+        };
+        let h = mk(&have);
+        let upto_vals: Vec<u32> = have.iter().zip(&extra).map(|(a, b)| a + b).collect();
+        let u = mk(&upto_vals);
+        let missing = VClock::missing_intervals(&h, &u);
+        let total: u32 = extra.iter().sum();
+        prop_assert_eq!(missing.len() as u32, total);
+        for (j, k) in missing {
+            prop_assert!(k > h.get(j) && k <= u.get(j));
+        }
+    }
+
+    #[test]
+    fn latency_monotone_everywhere(sizes in proptest::collection::vec(1u64..100_000, 2..20)) {
+        let m = dsm_net::LatencyModel::default();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let mut prev = 0;
+        for s in sorted {
+            let t = m.one_way(s);
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

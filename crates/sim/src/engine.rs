@@ -1,0 +1,842 @@
+//! The discrete-event engine: event heap, node scheduling, thread hand-off.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::time::Time;
+use crate::NodeId;
+
+/// Shared mutable state plugged into the engine: the protocol world.
+///
+/// The engine is generic over the world so that the protocol layer can define
+/// its own message type and delivery semantics. `deliver` is invoked exactly
+/// once per posted message, at the message's scheduled arrival time, with a
+/// [`Sched`] handle for posting follow-up messages, waking blocked nodes, or
+/// charging occupancy delays to busy nodes.
+pub trait World: Send + 'static {
+    /// Message type routed through the event queue.
+    type Msg: Send + 'static;
+
+    /// Handle a message arriving at node `to` at the current virtual time.
+    fn deliver(&mut self, sched: &mut Sched<Self::Msg>, to: NodeId, msg: Self::Msg);
+}
+
+/// Scheduling status of a node thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Currently executing (at most one node at a time).
+    Running,
+    /// Will resume at the given virtual time (it is computing until then).
+    Ready { at: Time },
+    /// Parked until a handler calls [`Sched::wake`].
+    Blocked,
+    /// Node body returned.
+    Done,
+}
+
+enum EventKind<M> {
+    /// Hand control back to a node. `gen` guards against stale entries left
+    /// in the heap after the node's resume time was pushed back.
+    Resume { node: NodeId, gen: u64 },
+    /// Deliver a message to the world, addressed at a node.
+    Msg { to: NodeId, msg: M },
+}
+
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeSlot {
+    status: Status,
+    /// Generation of the valid Resume event for this node.
+    gen: u64,
+    /// A wake that arrived before the node blocked (its completion message
+    /// is "sitting in the receive queue"); consumed by the next block().
+    pending_wake: Option<Time>,
+}
+
+/// Event queue plus node scheduling state. Exposed to message handlers and
+/// node contexts as [`Sched`].
+pub struct SchedInner<M> {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Event<M>>,
+    nodes: Vec<NodeSlot>,
+    done_count: usize,
+}
+
+/// Handle given to [`World::deliver`] and [`NodeCtx::world`] closures for
+/// interacting with the event queue.
+pub type Sched<M> = SchedInner<M>;
+
+impl<M> SchedInner<M> {
+    /// Standalone scheduler for unit-testing message handlers outside the
+    /// engine: events accumulate in the heap and can be drained with
+    /// [`SchedInner::take_events`]; nodes start `Ready` so wakes on them
+    /// are recorded as pending.
+    pub fn for_testing(n: usize) -> Self {
+        let mut s = Self::new(n);
+        for node in 0..n {
+            s.nodes[node].status = Status::Blocked;
+        }
+        s
+    }
+
+    /// Test helper: pop every queued event, returning `(time, to, msg)` for
+    /// messages and `None` payloads for resumes.
+    pub fn take_events(&mut self) -> Vec<(Time, NodeId, Option<M>)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.heap.pop() {
+            match ev.kind {
+                EventKind::Msg { to, msg } => out.push((ev.at, to, Some(msg))),
+                EventKind::Resume { node, .. } => out.push((ev.at, node, None)),
+            }
+        }
+        out
+    }
+
+    /// Test helper: advance the notion of "now" directly.
+    pub fn set_now_for_testing(&mut self, t: Time) {
+        debug_assert!(t >= self.now);
+        self.now = t;
+    }
+
+    fn new(n: usize) -> Self {
+        SchedInner {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: (0..n)
+                .map(|_| NodeSlot {
+                    status: Status::Blocked, // set properly at start
+                    gen: 0,
+                    pending_wake: None,
+                })
+                .collect(),
+            done_count: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of simulated nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Post a message for delivery to node `to` at virtual time `at`.
+    ///
+    /// `at` is clamped to the current time (messages cannot arrive in the
+    /// past).
+    pub fn post(&mut self, to: NodeId, at: Time, msg: M) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Msg { to, msg });
+    }
+
+    /// Wake a blocked node so that it resumes at time `at`.
+    ///
+    /// Panics if the node is not blocked: waking a computing or finished node
+    /// indicates a protocol bug.
+    pub fn wake(&mut self, node: NodeId, at: Time) {
+        let at = at.max(self.now);
+        let slot = &mut self.nodes[node];
+        match slot.status {
+            Status::Blocked => {
+                slot.status = Status::Ready { at };
+                slot.gen += 1;
+                let gen = slot.gen;
+                self.push(at, EventKind::Resume { node, gen });
+            }
+            Status::Ready { .. } | Status::Running => {
+                // The node has not blocked yet (e.g. it is still charging
+                // local time before parking): remember the wake, consumed by
+                // its next block().
+                let w = slot.pending_wake.get_or_insert(at);
+                *w = (*w).max(at);
+            }
+            Status::Done => panic!("wake({node}) called on a finished node"),
+        }
+    }
+
+    /// Push back the resume time of a computing node to at least `until`,
+    /// modeling occupancy stolen from it (e.g. servicing a remote protocol
+    /// request). No-op for blocked or finished nodes, or if the node already
+    /// resumes later than `until`.
+    pub fn delay(&mut self, node: NodeId, until: Time) {
+        let until = until.max(self.now);
+        let slot = &mut self.nodes[node];
+        if let Status::Ready { at } = slot.status {
+            if at < until {
+                slot.status = Status::Ready { at: until };
+                slot.gen += 1;
+                let gen = slot.gen;
+                self.push(until, EventKind::Resume { node, gen });
+            }
+        }
+    }
+
+    /// True if the node is parked waiting for a wake (so it can service an
+    /// incoming request immediately: it is spinning on message arrival).
+    pub fn is_blocked(&self, node: NodeId) -> bool {
+        self.nodes[node].status == Status::Blocked
+    }
+
+    /// The time at which the node becomes available to service an
+    /// asynchronous request: now if it is blocked (it polls while waiting) or
+    /// done, otherwise the end of its current compute segment is irrelevant —
+    /// with polling it services at the next backedge, so availability is also
+    /// ~now. This helper returns the node's scheduled resume time for models
+    /// that want it.
+    pub fn resume_at(&self, node: NodeId) -> Option<Time> {
+        match self.nodes[node].status {
+            Status::Ready { at } => Some(at),
+            _ => None,
+        }
+    }
+}
+
+struct SimState<W: World> {
+    sched: SchedInner<W::Msg>,
+    /// Taken out while a handler runs so `deliver` can borrow world and
+    /// scheduler simultaneously.
+    world: Option<W>,
+    /// Set if a node thread panicked; everyone else bails out.
+    poisoned: bool,
+}
+
+struct Shared<W: World> {
+    state: Mutex<SimState<W>>,
+    /// One condvar per node for hand-off, plus one for run completion.
+    node_cvs: Vec<Condvar>,
+    done_cv: Condvar,
+}
+
+/// A node's program: one closure per simulated node.
+pub type NodeBody<W> = Box<dyn FnOnce(&mut NodeCtx<W>) + Send>;
+
+/// Per-node handle passed to each node body closure.
+///
+/// All methods lock the engine internally; node bodies hold no lock between
+/// DSM operations.
+pub struct NodeCtx<W: World> {
+    shared: Arc<Shared<W>>,
+    node: NodeId,
+}
+
+impl<W: World> NodeCtx<W> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.shared.node_cvs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.lock().sched.now
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState<W>> {
+        match self.shared.state.lock() {
+            Ok(g) => {
+                if g.poisoned {
+                    panic!("simulation aborted: another node panicked");
+                }
+                g
+            }
+            Err(_) => panic!("simulation poisoned by a panicking node"),
+        }
+    }
+
+    /// Advance this node's virtual clock by `dt` nanoseconds of computation.
+    ///
+    /// Events that fall inside the interval are processed; message handlers
+    /// may charge extra occupancy to this node via [`Sched::delay`], pushing
+    /// the effective resume time further out.
+    pub fn advance(&mut self, dt: Time) {
+        let mut g = self.lock();
+        let at = g.sched.now + dt;
+        let slot = &mut g.sched.nodes[self.node];
+        debug_assert_eq!(slot.status, Status::Running);
+        slot.status = Status::Ready { at };
+        slot.gen += 1;
+        let gen = slot.gen;
+        g.sched.push(at, EventKind::Resume { node: self.node, gen });
+        self.drive(g);
+    }
+
+    /// Park this node until a message handler calls [`Sched::wake`] for it.
+    pub fn block(&mut self) {
+        let mut g = self.lock();
+        let now = g.sched.now;
+        let slot = &mut g.sched.nodes[self.node];
+        debug_assert_eq!(slot.status, Status::Running);
+        if let Some(at) = slot.pending_wake.take() {
+            // The completion we were about to wait for already arrived.
+            let at = at.max(now);
+            slot.status = Status::Ready { at };
+            slot.gen += 1;
+            let gen = slot.gen;
+            g.sched.push(at, EventKind::Resume { node: self.node, gen });
+        } else {
+            slot.status = Status::Blocked;
+        }
+        self.drive(g);
+    }
+
+    /// Run `f` with exclusive access to the world and the scheduler.
+    ///
+    /// This is how node-side protocol code mutates shared protocol state and
+    /// posts messages. The closure runs at the node's current virtual time.
+    pub fn world<R>(&mut self, f: impl FnOnce(&mut W, &mut Sched<W::Msg>) -> R) -> R {
+        let mut g = self.lock();
+        let mut world = g.world.take().expect("world re-entrancy");
+        let r = f(&mut world, &mut g.sched);
+        g.world = Some(world);
+        r
+    }
+
+    /// Drive the event loop until this node becomes `Running` again.
+    ///
+    /// Precondition: this node's status is `Ready` (with a matching Resume
+    /// event in the heap) or `Blocked`. Exactly one thread drives at a time:
+    /// the driver either pops its own Resume (and returns) or hands control
+    /// to another node and parks on its condvar.
+    fn drive(&self, mut g: MutexGuard<'_, SimState<W>>) {
+        loop {
+            let ev = match g.sched.heap.pop() {
+                Some(ev) => ev,
+                None => {
+                    // Nothing left to do. If this node is blocked with no
+                    // pending events, the program deadlocked.
+                    let statuses: Vec<_> =
+                        g.sched.nodes.iter().map(|s| s.status).collect();
+                    g.poisoned = true;
+                    for cv in &self.shared.node_cvs {
+                        cv.notify_all();
+                    }
+                    self.shared.done_cv.notify_all();
+                    panic!(
+                        "simulation deadlock: event queue empty, node states {statuses:?}"
+                    );
+                }
+            };
+            debug_assert!(ev.at >= g.sched.now);
+            match ev.kind {
+                EventKind::Msg { to, msg } => {
+                    g.sched.now = ev.at;
+                    let mut world = g.world.take().expect("world re-entrancy");
+                    world.deliver(&mut g.sched, to, msg);
+                    g.world = Some(world);
+                }
+                EventKind::Resume { node, gen } => {
+                    if g.sched.nodes[node].gen != gen {
+                        continue; // superseded by a later delay/wake
+                    }
+                    match g.sched.nodes[node].status {
+                        Status::Ready { at } => debug_assert_eq!(at, ev.at),
+                        other => panic!("resume for node {node} in state {other:?}"),
+                    }
+                    g.sched.now = ev.at;
+                    g.sched.nodes[node].status = Status::Running;
+                    if node == self.node {
+                        return;
+                    }
+                    // Hand off to the other node's thread and park until a
+                    // future driver resumes us.
+                    self.shared.node_cvs[node].notify_one();
+                    loop {
+                        g = self
+                            .shared
+                            .node_cvs[self.node]
+                            .wait(g)
+                            .unwrap_or_else(|_| panic!("simulation poisoned"));
+                        if g.poisoned {
+                            panic!("simulation aborted: another node panicked");
+                        }
+                        if g.sched.nodes[self.node].status == Status::Running {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark this node finished and keep the event loop alive for others.
+    fn finish(&self) {
+        let mut g = self.lock();
+        let slot = &mut g.sched.nodes[self.node];
+        debug_assert_eq!(slot.status, Status::Running);
+        slot.status = Status::Done;
+        g.sched.done_count += 1;
+        if g.sched.done_count == g.sched.nodes.len() {
+            // Drain in-flight messages so their effects (stats, traffic) are
+            // accounted for even when every node body has returned.
+            while let Some(ev) = g.sched.heap.pop() {
+                if let EventKind::Msg { to, msg } = ev.kind {
+                    g.sched.now = ev.at;
+                    let mut world = g.world.take().expect("world re-entrancy");
+                    world.deliver(&mut g.sched, to, msg);
+                    g.world = Some(world);
+                }
+            }
+            self.shared.done_cv.notify_all();
+            return;
+        }
+        // Drive until we can hand off (or everything is drained).
+        loop {
+            let ev = match g.sched.heap.pop() {
+                Some(ev) => ev,
+                None => {
+                    // Remaining nodes must all be done or this is a deadlock.
+                    let blocked: Vec<_> = g
+                        .sched
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.status == Status::Blocked)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !blocked.is_empty() {
+                        g.poisoned = true;
+                        for cv in &self.shared.node_cvs {
+                            cv.notify_all();
+                        }
+                        self.shared.done_cv.notify_all();
+                        panic!("simulation deadlock at exit: nodes {blocked:?} blocked");
+                    }
+                    return;
+                }
+            };
+            match ev.kind {
+                EventKind::Msg { to, msg } => {
+                    g.sched.now = ev.at;
+                    let mut world = g.world.take().expect("world re-entrancy");
+                    world.deliver(&mut g.sched, to, msg);
+                    g.world = Some(world);
+                }
+                EventKind::Resume { node, gen } => {
+                    if g.sched.nodes[node].gen != gen {
+                        continue;
+                    }
+                    g.sched.now = ev.at;
+                    g.sched.nodes[node].status = Status::Running;
+                    self.shared.node_cvs[node].notify_one();
+                    return; // hand off and exit this thread
+                }
+            }
+        }
+    }
+}
+
+/// Run a simulated cluster to completion and return the final world.
+///
+/// `bodies` supplies one closure per node; all nodes start at virtual time 0.
+/// Returns the world and the final virtual time (the maximum over all node
+/// completion times and message deliveries).
+pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
+    let n = bodies.len();
+    assert!(n > 0, "cluster needs at least one node");
+    let mut sched = SchedInner::new(n);
+    // Every node starts Ready at t=0; node 0's Resume is pushed first so it
+    // runs first (deterministic startup order by node id).
+    for node in 0..n {
+        sched.nodes[node].status = Status::Ready { at: 0 };
+        sched.nodes[node].gen = 1;
+        sched.push(0, EventKind::Resume { node, gen: 1 });
+    }
+    let shared = Arc::new(Shared::<W> {
+        state: Mutex::new(SimState {
+            sched,
+            world: Some(world),
+            poisoned: false,
+        }),
+        node_cvs: (0..n).map(|_| Condvar::new()).collect(),
+        done_cv: Condvar::new(),
+    });
+
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(node, body)| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("dsm-node-{node}"))
+                .spawn(move || {
+                    let mut ctx = NodeCtx { shared, node };
+                    // Wait for our first Resume.
+                    {
+                        let mut g = ctx.lock();
+                        while g.sched.nodes[node].status != Status::Running {
+                            if g.poisoned {
+                                panic!("simulation aborted before start");
+                            }
+                            g = ctx.shared.node_cvs[node]
+                                .wait(g)
+                                .unwrap_or_else(|_| panic!("simulation poisoned"));
+                        }
+                    }
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| body(&mut ctx)),
+                    );
+                    match result {
+                        Ok(()) => ctx.finish(),
+                        Err(e) => {
+                            // Poison the simulation so every parked thread
+                            // and the main thread bail out promptly. The
+                            // mutex itself may already be poisoned if the
+                            // panic happened under the lock.
+                            match ctx.shared.state.lock() {
+                                Ok(mut g) => g.poisoned = true,
+                                Err(e) => e.into_inner().poisoned = true,
+                            }
+                            for cv in &ctx.shared.node_cvs {
+                                cv.notify_all();
+                            }
+                            ctx.shared.done_cv.notify_all();
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                })
+                .expect("spawn node thread")
+        })
+        .collect();
+
+    // Kick off node 0: it is Ready at t=0 at the head of the heap, but no
+    // thread is driving yet. Pop its resume here.
+    {
+        let mut g = match shared.state.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        // Process leading events until the first Resume hands control over.
+        loop {
+            let ev = g.sched.heap.pop().expect("startup events");
+            match ev.kind {
+                EventKind::Msg { to, msg } => {
+                    g.sched.now = ev.at;
+                    let mut world = g.world.take().expect("world");
+                    world.deliver(&mut g.sched, to, msg);
+                    g.world = Some(world);
+                }
+                EventKind::Resume { node, gen } => {
+                    if g.sched.nodes[node].gen != gen {
+                        continue;
+                    }
+                    g.sched.now = ev.at;
+                    g.sched.nodes[node].status = Status::Running;
+                    shared.node_cvs[node].notify_one();
+                    break;
+                }
+            }
+        }
+        // Wait for completion.
+        loop {
+            if g.sched.done_count == n || g.poisoned {
+                break;
+            }
+            g = match shared.done_cv.wait(g) {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+        }
+    }
+
+    let mut panicked = None;
+    for h in handles {
+        if let Err(e) = h.join() {
+            panicked = Some(e);
+        }
+    }
+    if let Some(e) = panicked {
+        std::panic::resume_unwind(e);
+    }
+
+    let mut g = match shared.state.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let t = g.sched.now;
+    (g.world.take().expect("world"), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records message deliveries and can wake nodes.
+    struct TestWorld {
+        log: Vec<(Time, NodeId, u32)>,
+        wake_on: Vec<Option<u32>>, // node -> tag that wakes it
+    }
+
+    impl World for TestWorld {
+        type Msg = u32;
+        fn deliver(&mut self, sched: &mut Sched<u32>, to: NodeId, msg: u32) {
+            self.log.push((sched.now(), to, msg));
+            if self.wake_on.get(to).copied().flatten() == Some(msg) && sched.is_blocked(to) {
+                let now = sched.now();
+                sched.wake(to, now);
+            }
+        }
+    }
+
+    #[test]
+    fn advances_virtual_time_per_node() {
+        let world = TestWorld { log: vec![], wake_on: vec![None, None] };
+        let (_, t) = run_cluster(
+            world,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.advance(100);
+                    assert_eq!(ctx.now(), 100);
+                    ctx.advance(50);
+                    assert_eq!(ctx.now(), 150);
+                }),
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.advance(500);
+                    assert_eq!(ctx.now(), 500);
+                }),
+            ],
+        );
+        assert_eq!(t, 500);
+    }
+
+    #[test]
+    fn messages_deliver_at_posted_time() {
+        let world = TestWorld { log: vec![], wake_on: vec![None, Some(7)] };
+        let (w, _) = run_cluster(
+            world,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.world(|_, s| s.post(1, 250, 7));
+                    ctx.advance(10);
+                }),
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.block(); // until msg 7 arrives at t=250
+                    assert_eq!(ctx.now(), 250);
+                }),
+            ],
+        );
+        assert_eq!(w.log, vec![(250, 1, 7)]);
+    }
+
+    #[test]
+    fn delay_pushes_back_compute_segment() {
+        struct DelayWorld;
+        impl World for DelayWorld {
+            type Msg = ();
+            fn deliver(&mut self, sched: &mut Sched<()>, to: NodeId, _msg: ()) {
+                // Charge 100ns of occupancy beyond the target's scheduled
+                // resume time.
+                let until = sched.resume_at(to).unwrap_or(sched.now()) + 100;
+                sched.delay(to, until);
+            }
+        }
+        let (_, t) = run_cluster(
+            DelayWorld,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<DelayWorld>| {
+                    ctx.world(|_, s| s.post(1, 50, ()));
+                    ctx.advance(1);
+                }),
+                Box::new(|ctx: &mut NodeCtx<DelayWorld>| {
+                    // Computing until 200; the message at t=50 charges 100ns
+                    // beyond our scheduled resume, so we resume at 300.
+                    ctx.advance(200);
+                    assert_eq!(ctx.now(), 300);
+                }),
+            ],
+        );
+        assert_eq!(t, 300);
+    }
+
+    #[test]
+    fn deterministic_event_order_across_runs() {
+        fn run_once() -> Vec<(Time, NodeId, u32)> {
+            let world = TestWorld { log: vec![], wake_on: vec![None; 4] };
+            let bodies: Vec<Box<dyn FnOnce(&mut NodeCtx<TestWorld>) + Send>> = (0..4)
+                .map(|i| {
+                    Box::new(move |ctx: &mut NodeCtx<TestWorld>| {
+                        for k in 0..10u32 {
+                            let target = ((i + 1) % 4) as NodeId;
+                            ctx.world(|_, s| {
+                                let at = s.now() + 37;
+                                s.post(target, at, k * 10 + i as u32)
+                            });
+                            ctx.advance(13 + i as u64);
+                        }
+                    }) as Box<dyn FnOnce(&mut NodeCtx<TestWorld>) + Send>
+                })
+                .collect();
+            run_cluster(world, bodies).0.log
+        }
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn blocked_forever_panics() {
+        let world = TestWorld { log: vec![], wake_on: vec![None] };
+        run_cluster(
+            world,
+            vec![Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                ctx.block();
+            })],
+        );
+    }
+
+    #[test]
+    fn pending_wake_is_consumed_by_next_block() {
+        // A wake that lands while the node is still computing must not be
+        // lost: the node's next block() returns immediately at (or after)
+        // the wake time.
+        struct WakeEarly;
+        impl World for WakeEarly {
+            type Msg = ();
+            fn deliver(&mut self, sched: &mut Sched<()>, to: NodeId, _msg: ()) {
+                let now = sched.now();
+                sched.wake(to, now + 5);
+            }
+        }
+        let (_, t) = run_cluster(
+            WakeEarly,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<WakeEarly>| {
+                    ctx.world(|_, s| s.post(1, 10, ()));
+                    ctx.advance(1);
+                }),
+                Box::new(|ctx: &mut NodeCtx<WakeEarly>| {
+                    // Compute past the wake at t=15, then block: the stored
+                    // wake releases us instantly instead of deadlocking.
+                    ctx.advance(100);
+                    ctx.block();
+                    assert_eq!(ctx.now(), 100);
+                }),
+            ],
+        );
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn delay_ignores_blocked_nodes() {
+        struct DelayBlocked;
+        impl World for DelayBlocked {
+            type Msg = u8;
+            fn deliver(&mut self, sched: &mut Sched<u8>, to: NodeId, msg: u8) {
+                match msg {
+                    0 => {
+                        // Try to delay a blocked node: must be a no-op.
+                        let until = sched.now() + 1_000_000;
+                        sched.delay(to, until);
+                        let now = sched.now();
+                        sched.wake(to, now + 1);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let (_, t) = run_cluster(
+            DelayBlocked,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<DelayBlocked>| {
+                    ctx.world(|_, s| s.post(1, 50, 0));
+                    ctx.advance(1);
+                }),
+                Box::new(|ctx: &mut NodeCtx<DelayBlocked>| {
+                    ctx.block();
+                    // Woken at 51, not delayed to 1ms.
+                    assert_eq!(ctx.now(), 51);
+                }),
+            ],
+        );
+        assert_eq!(t, 51);
+    }
+
+    #[test]
+    fn post_in_the_past_clamps_to_now() {
+        struct PastPost {
+            got: Vec<Time>,
+        }
+        impl World for PastPost {
+            type Msg = bool;
+            fn deliver(&mut self, sched: &mut Sched<bool>, _to: NodeId, msg: bool) {
+                if msg {
+                    // Attempt to post 100ns in the past.
+                    let target = sched.now().saturating_sub(100);
+                    sched.post(0, target, false);
+                } else {
+                    self.got.push(sched.now());
+                }
+            }
+        }
+        let (w, _) = run_cluster(
+            PastPost { got: vec![] },
+            vec![Box::new(|ctx: &mut NodeCtx<PastPost>| {
+                ctx.world(|_, s| s.post(0, 500, true));
+                ctx.advance(1_000);
+            })],
+        );
+        assert_eq!(w.got, vec![500]);
+    }
+
+    #[test]
+    fn ties_break_by_post_order() {
+        let world = TestWorld { log: vec![], wake_on: vec![None, None] };
+        let (w, _) = run_cluster(
+            world,
+            vec![
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.world(|_, s| {
+                        s.post(1, 100, 1);
+                        s.post(1, 100, 2);
+                        s.post(1, 100, 3);
+                    });
+                    ctx.advance(1);
+                }),
+                Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                    ctx.advance(200);
+                }),
+            ],
+        );
+        let tags: Vec<u32> = w.log.iter().map(|&(_, _, m)| m).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation engine for the DSM reproduction.
+//!
+//! The engine runs one OS thread per simulated cluster node, but execution is
+//! fully serialized: exactly one logical entity (a node thread or an in-flight
+//! message handler) runs at any instant, under a single global lock. Events
+//! are ordered by `(virtual time, sequence number)`, where the sequence number
+//! is assigned at enqueue time, so a given program produces exactly the same
+//! event order — and therefore the same statistics — on every run.
+//!
+//! Node threads interact with the engine through [`NodeCtx`]:
+//!
+//! * [`NodeCtx::advance`] moves the node's virtual clock forward (modeling
+//!   computation), processing any intervening events;
+//! * [`NodeCtx::block`] parks the node until some message handler wakes it;
+//! * [`NodeCtx::world`] gives exclusive access to the shared protocol state
+//!   plus a [`Sched`] handle for posting messages and waking nodes.
+//!
+//! Messages posted with [`Sched::post`] are delivered by calling
+//! [`World::deliver`] at their arrival time; the handler runs inline on
+//! whichever thread is currently driving the event loop.
+
+pub mod engine;
+pub mod time;
+
+pub use engine::{run_cluster, NodeCtx, Sched, World};
+pub use time::{Time, MICROS, MILLIS, SECS};
+
+/// Index of a simulated cluster node, `0..nodes`.
+pub type NodeId = usize;

@@ -1,0 +1,190 @@
+//! Aggregate statistics from the paper's §5.5: relative efficiency and
+//! harmonic means over applications (Tables 16 and 17).
+
+use std::collections::BTreeMap;
+
+/// Harmonic mean of a slice of positive values.
+///
+/// Returns 0.0 for an empty slice. Any non-positive value makes the mean 0.0
+/// (the paper's HM of relative efficiencies is only meaningful for positive
+/// entries; a zero entry denotes a run that failed entirely).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return 0.0;
+        }
+        denom += 1.0 / v;
+    }
+    values.len() as f64 / denom
+}
+
+/// A matrix of speedups indexed by (application, protocol, granularity),
+/// implementing the paper's relative-efficiency aggregation.
+///
+/// `RE(a, p, g) = speedup(a, p, g) / MAX(a)` where `MAX(a)` is the best
+/// speedup of application `a` over all combinations. Table 16 uses one
+/// implementation per application; Table 17 folds multiple versions of an
+/// application into one by taking, for each (p, g), the best speedup among
+/// versions (`Max(a, p, g)`), and for `MAX(a)` the best over all versions and
+/// combinations.
+#[derive(Debug, Default, Clone)]
+pub struct EfficiencyMatrix {
+    /// (app, protocol, granularity) -> speedup. `app` here is the *fold key*:
+    /// versions of the same application share a key in Table 17 mode.
+    cells: BTreeMap<(String, String, usize), f64>,
+}
+
+impl EfficiencyMatrix {
+    /// Create an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a speedup for `(app, protocol, granularity)`. If a value is
+    /// already present, the larger speedup wins (this is what folds multiple
+    /// versions of one application into `Max(a, p, g)`).
+    pub fn record(&mut self, app: &str, protocol: &str, granularity: usize, speedup: f64) {
+        let key = (app.to_string(), protocol.to_string(), granularity);
+        let e = self.cells.entry(key).or_insert(0.0);
+        if speedup > *e {
+            *e = speedup;
+        }
+    }
+
+    /// Distinct application fold keys, sorted.
+    pub fn apps(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cells.keys().map(|k| k.0.clone()).collect();
+        v.dedup();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Best speedup over all combinations for one application.
+    pub fn max_speedup(&self, app: &str) -> f64 {
+        self.cells
+            .iter()
+            .filter(|(k, _)| k.0 == app)
+            .map(|(_, &v)| v)
+            .fold(0.0, f64::max)
+    }
+
+    /// Relative efficiency of one cell.
+    pub fn re(&self, app: &str, protocol: &str, granularity: usize) -> Option<f64> {
+        let v = *self
+            .cells
+            .get(&(app.to_string(), protocol.to_string(), granularity))?;
+        let max = self.max_speedup(app);
+        if max <= 0.0 {
+            return Some(0.0);
+        }
+        Some(v / max)
+    }
+
+    /// HM of RE over all applications for a fixed (protocol, granularity).
+    ///
+    /// Applications missing this combination contribute RE = 0 (which, per
+    /// [`harmonic_mean`], zeroes the mean — the paper notes missing runs as
+    /// failures at that combination).
+    pub fn hm_fixed(&self, protocol: &str, granularity: usize) -> f64 {
+        let res: Vec<f64> = self
+            .apps()
+            .iter()
+            .map(|a| self.re(a, protocol, granularity).unwrap_or(0.0))
+            .collect();
+        harmonic_mean(&res)
+    }
+
+    /// HM of RE for a fixed protocol, choosing the best granularity
+    /// per application (the paper's `g_best` column).
+    pub fn hm_best_granularity(&self, protocol: &str, granularities: &[usize]) -> f64 {
+        let res: Vec<f64> = self
+            .apps()
+            .iter()
+            .map(|a| {
+                granularities
+                    .iter()
+                    .filter_map(|&g| self.re(a, protocol, g))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        harmonic_mean(&res)
+    }
+
+    /// HM of RE for a fixed granularity, choosing the best protocol per
+    /// application (the paper's `p_best` row).
+    pub fn hm_best_protocol(&self, granularity: usize, protocols: &[&str]) -> f64 {
+        let res: Vec<f64> = self
+            .apps()
+            .iter()
+            .map(|a| {
+                protocols
+                    .iter()
+                    .filter_map(|p| self.re(a, p, granularity))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        harmonic_mean(&res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hm_of_equal_values_is_the_value() {
+        assert!((harmonic_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hm_is_dominated_by_small_values() {
+        let hm = harmonic_mean(&[1.0, 0.1]);
+        assert!((hm - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hm_empty_and_zero() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn re_normalizes_by_app_max() {
+        let mut m = EfficiencyMatrix::new();
+        m.record("lu", "sc", 64, 5.0);
+        m.record("lu", "sc", 4096, 10.0);
+        m.record("lu", "hlrc", 4096, 8.0);
+        assert!((m.re("lu", "sc", 64).unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.re("lu", "sc", 4096).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.re("lu", "hlrc", 4096).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_keeps_best_version() {
+        let mut m = EfficiencyMatrix::new();
+        m.record("ocean", "sc", 64, 2.0);
+        m.record("ocean", "sc", 64, 7.0); // better version folds in
+        m.record("ocean", "sc", 64, 3.0); // worse version ignored
+        assert!((m.max_speedup("ocean") - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_protocol_and_granularity_selection() {
+        let mut m = EfficiencyMatrix::new();
+        for (app, sc64, hlrc4096) in [("a", 10.0, 6.0), ("b", 3.0, 9.0)] {
+            m.record(app, "sc", 64, sc64);
+            m.record(app, "hlrc", 4096, hlrc4096);
+        }
+        // best protocol at 64 = sc for both apps; app b's RE = 3/9.
+        let hm = m.hm_best_protocol(64, &["sc", "hlrc"]);
+        assert!((hm - harmonic_mean(&[1.0, 3.0 / 9.0])).abs() < 1e-12);
+        // best granularity for hlrc: app a RE=0.6, app b RE=1.0
+        let hm2 = m.hm_best_granularity("hlrc", &[64, 4096]);
+        assert!((hm2 - harmonic_mean(&[0.6, 1.0])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Event counters collected during a simulated run.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node protocol event counters.
+///
+/// All counters are cumulative over one run. "Remote" faults are faults that
+/// required communication; "local" faults are access-control transitions that
+/// were resolved without messages (e.g. HLRC twinning an already-present
+/// block, or SW-LRC re-enabling write access after a release downgrade).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Read access faults (block not readable locally), remote.
+    pub read_faults: u64,
+    /// Write access faults that required communication.
+    pub write_faults: u64,
+    /// Write faults resolved locally (twin creation / re-enable).
+    pub local_write_faults: u64,
+    /// Messages sent from this node.
+    pub msgs_sent: u64,
+    /// Control bytes sent (headers, requests, acks, write notices).
+    pub ctrl_bytes: u64,
+    /// Data payload bytes sent (block fetches, write-backs, diffs).
+    pub data_bytes: u64,
+    /// Block fetches served *to* other nodes by this node.
+    pub fetches_served: u64,
+    /// Twins created (HLRC).
+    pub twins_created: u64,
+    /// Diffs created at releases (HLRC).
+    pub diffs_created: u64,
+    /// Total bytes of diff payload produced (HLRC).
+    pub diff_bytes: u64,
+    /// Diffs applied at this node's homes (HLRC).
+    pub diffs_applied: u64,
+    /// Write notices sent (piggybacked counts included).
+    pub write_notices_sent: u64,
+    /// Write notices received and processed at acquires.
+    pub write_notices_recv: u64,
+    /// Blocks invalidated at this node (eager for SC, acquire-time for LRC).
+    pub invalidations: u64,
+    /// Lock acquires performed by this node.
+    pub lock_acquires: u64,
+    /// Lock acquires that needed remote communication.
+    pub remote_lock_acquires: u64,
+    /// Barrier episodes this node participated in.
+    pub barriers: u64,
+    /// Virtual ns spent waiting on lock acquisition.
+    pub lock_wait_ns: u64,
+    /// Virtual ns spent waiting at barriers.
+    pub barrier_wait_ns: u64,
+    /// Virtual ns spent stalled in read faults.
+    pub read_stall_ns: u64,
+    /// Virtual ns spent stalled in write faults.
+    pub write_stall_ns: u64,
+    /// Virtual ns of pure application computation charged.
+    pub compute_ns: u64,
+    /// Extra virtual ns charged for polling instrumentation.
+    pub poll_overhead_ns: u64,
+    /// Asynchronous messages serviced via interrupt (signal cost paid).
+    pub interrupts_taken: u64,
+    /// Virtual ns this node spent servicing remote requests (occupancy).
+    pub service_ns: u64,
+    /// Peak bytes held in twins at this node (HLRC memory overhead; the
+    /// paper lists memory utilization as unexamined future work).
+    pub twin_bytes_peak: u64,
+}
+
+impl Counters {
+    /// Field-wise sum, for aggregating per-node counters into run totals.
+    pub fn add(&mut self, o: &Counters) {
+        self.read_faults += o.read_faults;
+        self.write_faults += o.write_faults;
+        self.local_write_faults += o.local_write_faults;
+        self.msgs_sent += o.msgs_sent;
+        self.ctrl_bytes += o.ctrl_bytes;
+        self.data_bytes += o.data_bytes;
+        self.fetches_served += o.fetches_served;
+        self.twins_created += o.twins_created;
+        self.diffs_created += o.diffs_created;
+        self.diff_bytes += o.diff_bytes;
+        self.diffs_applied += o.diffs_applied;
+        self.write_notices_sent += o.write_notices_sent;
+        self.write_notices_recv += o.write_notices_recv;
+        self.invalidations += o.invalidations;
+        self.lock_acquires += o.lock_acquires;
+        self.remote_lock_acquires += o.remote_lock_acquires;
+        self.barriers += o.barriers;
+        self.lock_wait_ns += o.lock_wait_ns;
+        self.barrier_wait_ns += o.barrier_wait_ns;
+        self.read_stall_ns += o.read_stall_ns;
+        self.write_stall_ns += o.write_stall_ns;
+        self.compute_ns += o.compute_ns;
+        self.poll_overhead_ns += o.poll_overhead_ns;
+        self.interrupts_taken += o.interrupts_taken;
+        self.service_ns += o.service_ns;
+        self.twin_bytes_peak = self.twin_bytes_peak.max(o.twin_bytes_peak);
+    }
+
+    /// Total bytes moved on the network (control + data).
+    pub fn total_traffic(&self) -> u64 {
+        self.ctrl_bytes + self.data_bytes
+    }
+}
+
+/// Statistics for one complete run: per-node counters plus timing results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// One entry per node.
+    pub per_node: Vec<Counters>,
+    /// Virtual time at which the parallel phase completed (max over nodes).
+    pub parallel_time_ns: u64,
+    /// Modeled time of the sequential execution of the same program.
+    pub sequential_time_ns: u64,
+}
+
+impl RunStats {
+    /// Field-wise sum over all nodes.
+    pub fn totals(&self) -> Counters {
+        let mut t = Counters::default();
+        for c in &self.per_node {
+            t.add(c);
+        }
+        t
+    }
+
+    /// Speedup of the parallel run over the modeled sequential run.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_time_ns == 0 {
+            return 0.0;
+        }
+        self.sequential_time_ns as f64 / self.parallel_time_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_fieldwise() {
+        let mut a = Counters { read_faults: 1, data_bytes: 10, ..Default::default() };
+        let b = Counters { read_faults: 2, ctrl_bytes: 5, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.read_faults, 3);
+        assert_eq!(a.data_bytes, 10);
+        assert_eq!(a.ctrl_bytes, 5);
+        assert_eq!(a.total_traffic(), 15);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let s = RunStats {
+            per_node: vec![Counters::default()],
+            parallel_time_ns: 250,
+            sequential_time_ns: 1000,
+        };
+        assert!((s.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_sum_all_nodes() {
+        let s = RunStats {
+            per_node: (0..4)
+                .map(|i| Counters { write_faults: i as u64, ..Default::default() })
+                .collect(),
+            parallel_time_ns: 1,
+            sequential_time_ns: 1,
+        };
+        assert_eq!(s.totals().write_faults, 6);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # dsm — relaxed consistency and coherence granularity in DSM systems
+//!
+//! A reproduction of Zhou, Iftode, Singh, Li, Toonen, Schoinas, Hill and
+//! Wood, *"Relaxed Consistency and Coherence Granularity in DSM Systems: A
+//! Performance Evaluation"* (PPoPP 1997), as a Rust workspace.
+//!
+//! This umbrella crate re-exports the public API of the member crates:
+//!
+//! * [`sim`] — deterministic discrete-event cluster engine;
+//! * [`net`] — Myrinet-calibrated latency model and platform costs;
+//! * [`mem`] — shared address space, access control, first-touch homes;
+//! * [`proto`] — the SC, SW-LRC and HLRC coherence protocols;
+//! * [`core`] — the run harness and the [`Dsm`] programming interface;
+//! * [`apps`] — the twelve SPLASH-2-derived applications;
+//! * [`stats`] — counters and the paper's aggregate statistics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dsm::{run_experiment, Protocol, RunConfig};
+//!
+//! let app = dsm::apps::registry::app_sized("lu", dsm::apps::registry::AppSize::Small).unwrap();
+//! let result = run_experiment(&RunConfig::new(Protocol::Hlrc, 4096), app);
+//! assert!(result.check.is_ok());
+//! println!("speedup: {:.2}", result.speedup());
+//! ```
+
+pub use dsm_apps as apps;
+pub use dsm_core as core;
+pub use dsm_mem as mem;
+pub use dsm_net as net;
+pub use dsm_proto as proto;
+pub use dsm_sim as sim;
+pub use dsm_stats as stats;
+
+pub use dsm_core::{
+    run_checked, run_experiment, run_parallel, run_sequential, touch_region, Dsm, DsmProgram,
+    ExperimentResult, MemImage, Notify, Program, Protocol, RunConfig,
+};

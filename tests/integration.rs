@@ -1,0 +1,132 @@
+//! Cross-crate integration tests through the `dsm` facade: statistics
+//! invariants, determinism, and protocol-relationship properties on the
+//! real applications.
+
+use dsm::{run_experiment, Notify, Protocol, RunConfig};
+use dsm_apps::registry::{app_sized, AppSize};
+
+fn small(name: &str) -> dsm::Program {
+    app_sized(name, AppSize::Small).expect("app")
+}
+
+#[test]
+fn stats_invariants_hold_across_protocols() {
+    for p in Protocol::ALL {
+        let cfg = RunConfig::new(p, 1024);
+        let r = run_experiment(&cfg, small("water-spatial"));
+        assert!(r.check.is_ok(), "{p:?}: {:?}", r.check);
+        let t = r.stats.totals();
+        // A 16-node run communicates.
+        assert!(t.msgs_sent > 0, "{p:?}: no messages");
+        assert!(t.read_faults > 0, "{p:?}: no read faults");
+        // Traffic includes at least one header per message.
+        assert!(t.ctrl_bytes >= 16 * t.msgs_sent || t.data_bytes > 0);
+        // Everyone participates in every barrier episode.
+        let b0 = r.stats.per_node[0].barriers;
+        assert!(b0 > 0);
+        for (i, node) in r.stats.per_node.iter().enumerate() {
+            assert_eq!(node.barriers, b0, "node {i} barrier count differs");
+        }
+        // Speedup is positive and bounded by the node count with slack for
+        // model effects.
+        assert!(r.speedup() > 0.0 && r.speedup() < 17.0);
+    }
+}
+
+#[test]
+fn lrc_machinery_only_engages_for_lrc_protocols() {
+    let sc = run_experiment(&RunConfig::new(Protocol::Sc, 1024), small("volrend-rowwise"));
+    let hl = run_experiment(&RunConfig::new(Protocol::Hlrc, 1024), small("volrend-rowwise"));
+    let sw = run_experiment(&RunConfig::new(Protocol::SwLrc, 1024), small("volrend-rowwise"));
+    let (sct, hlt, swt) = (sc.stats.totals(), hl.stats.totals(), sw.stats.totals());
+    assert_eq!(sct.write_notices_sent, 0, "SC must not send write notices");
+    assert_eq!(sct.diffs_created, 0);
+    assert_eq!(sct.twins_created, 0);
+    assert!(hlt.write_notices_sent > 0, "HLRC must send write notices");
+    assert!(hlt.twins_created > 0, "HLRC must twin dirty remote blocks");
+    assert!(swt.write_notices_sent > 0, "SW-LRC must send write notices");
+    assert_eq!(swt.twins_created, 0, "SW-LRC never twins");
+    assert_eq!(swt.diffs_created, 0, "SW-LRC never diffs");
+}
+
+#[test]
+fn invalidations_are_eager_under_sc_and_lazy_under_lrc() {
+    // Under SC, every write miss on a shared block invalidates eagerly;
+    // under the LRC protocols invalidations only happen at acquires, so
+    // for a barrier-only app with heavy read sharing, SC must invalidate
+    // at least as often.
+    let sc = run_experiment(&RunConfig::new(Protocol::Sc, 4096), small("ocean-rowwise"));
+    let hl = run_experiment(&RunConfig::new(Protocol::Hlrc, 4096), small("ocean-rowwise"));
+    assert!(sc.check.is_ok() && hl.check.is_ok());
+    let scf = sc.stats.totals().write_faults + sc.stats.totals().read_faults;
+    let hlf = hl.stats.totals().write_faults + hl.stats.totals().read_faults;
+    assert!(
+        hlf <= scf,
+        "HLRC remote faults ({hlf}) must not exceed SC's ({scf}) at page granularity"
+    );
+}
+
+#[test]
+fn interrupt_runs_count_interrupts_and_polling_runs_do_not() {
+    let poll = run_experiment(
+        &RunConfig::new(Protocol::Sc, 1024),
+        small("water-nsquared"),
+    );
+    let intr = run_experiment(
+        &RunConfig::new(Protocol::Sc, 1024).with_notify(Notify::Interrupt),
+        small("water-nsquared"),
+    );
+    assert_eq!(poll.stats.totals().interrupts_taken, 0);
+    assert!(intr.stats.totals().interrupts_taken > 0);
+    // Polling inflates compute; interrupts do not.
+    assert!(poll.stats.totals().poll_overhead_ns > 0);
+    assert_eq!(intr.stats.totals().poll_overhead_ns, 0);
+}
+
+#[test]
+fn every_app_is_deterministic_across_repeat_runs() {
+    for name in ["lu", "barnes-partree", "raytrace"] {
+        let cfg = RunConfig::new(Protocol::Hlrc, 256);
+        let a = run_experiment(&cfg, small(name));
+        let b = run_experiment(&cfg, small(name));
+        assert_eq!(
+            a.stats.parallel_time_ns, b.stats.parallel_time_ns,
+            "{name}: run times differ"
+        );
+        assert_eq!(a.stats.totals(), b.stats.totals(), "{name}: counters differ");
+    }
+}
+
+#[test]
+fn cluster_size_sweep_works_for_size_generic_apps() {
+    // The engine and protocols are node-count generic; check correctness
+    // across cluster sizes (the test-size problem is too small to expect
+    // monotone scaling).
+    for nodes in [4usize, 8, 16] {
+        let cfg = RunConfig::new(Protocol::Hlrc, 4096).with_nodes(nodes);
+        let r = run_experiment(&cfg, small("water-nsquared"));
+        assert!(r.check.is_ok(), "{nodes} nodes: {:?}", r.check);
+        assert!(r.speedup() > 0.0);
+        assert_eq!(r.stats.per_node.len(), nodes);
+    }
+}
+
+#[test]
+fn degenerate_granularity_whole_space_in_blocks() {
+    // Block size bigger than some app regions: one block holds everything
+    // that false-shares. Must still verify under every protocol.
+    for p in Protocol::ALL {
+        let cfg = RunConfig::new(p, 8192);
+        let r = run_experiment(&cfg, small("volrend-original"));
+        assert!(r.check.is_ok(), "{p:?}@8192: {:?}", r.check);
+    }
+}
+
+#[test]
+fn two_node_cluster_is_a_valid_degenerate_case() {
+    for p in Protocol::ALL {
+        let cfg = RunConfig::new(p, 256).with_nodes(2);
+        let r = run_experiment(&cfg, small("water-nsquared"));
+        assert!(r.check.is_ok(), "{p:?} on 2 nodes: {:?}", r.check);
+    }
+}
