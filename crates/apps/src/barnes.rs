@@ -75,7 +75,12 @@ pub struct Barnes {
 impl Barnes {
     /// Scaled default: the paper used 16,384 particles.
     pub fn new(n: usize, steps: usize, variant: BarnesVariant) -> Self {
-        Barnes { n, steps, variant, chunk: 3 * n }
+        Barnes {
+            n,
+            steps,
+            variant,
+            chunk: 3 * n,
+        }
     }
 
     // ---- shared layout ----

@@ -114,7 +114,13 @@ fn intersect(scene: &[Sphere], origin: &[f64; 3], dir: &[f64; 3]) -> Option<(f64
     best
 }
 
-fn trace(scene: &[Sphere], origin: &[f64; 3], dir: &[f64; 3], depth: usize, d: &mut dyn Dsm) -> f64 {
+fn trace(
+    scene: &[Sphere],
+    origin: &[f64; 3],
+    dir: &[f64; 3],
+    depth: usize,
+    d: &mut dyn Dsm,
+) -> f64 {
     d.compute(SPHERES as u64 * 12 * FLOP_NS);
     match intersect(scene, origin, dir) {
         None => {
@@ -135,7 +141,11 @@ fn trace(scene: &[Sphere], origin: &[f64; 3], dir: &[f64; 3], depth: usize, d: &
             // Shadow ray.
             d.compute(SPHERES as u64 * 12 * FLOP_NS);
             let lit = intersect(scene, &scale_add(&hit, &n, 1e-4), &to_light).is_none();
-            let diffuse = if lit { dot(&n, &to_light).max(0.0) } else { 0.0 };
+            let diffuse = if lit {
+                dot(&n, &to_light).max(0.0)
+            } else {
+                0.0
+            };
             let mut shade = 0.1 + 0.7 * diffuse;
             if depth < MAX_DEPTH && scene[i].refl > 0.0 {
                 let refl_dir = scale_add(dir, &n, -2.0 * dot(dir, &n));
@@ -227,7 +237,11 @@ mod tests {
 
     #[test]
     fn sphere_intersection_hits_head_on() {
-        let scene = [Sphere { c: [0.0, 0.0, 5.0], r: 1.0, refl: 0.0 }];
+        let scene = [Sphere {
+            c: [0.0, 0.0, 5.0],
+            r: 1.0,
+            refl: 0.0,
+        }];
         let hit = intersect(&scene, &[0.0, 0.0, 0.0], &[0.0, 0.0, 1.0]);
         let (t, i) = hit.expect("must hit");
         assert_eq!(i, 0);
@@ -236,7 +250,11 @@ mod tests {
 
     #[test]
     fn sphere_intersection_misses_sideways() {
-        let scene = [Sphere { c: [0.0, 0.0, 5.0], r: 1.0, refl: 0.0 }];
+        let scene = [Sphere {
+            c: [0.0, 0.0, 5.0],
+            r: 1.0,
+            refl: 0.0,
+        }];
         assert!(intersect(&scene, &[0.0, 0.0, 0.0], &[0.0, 1.0, 0.0]).is_none());
     }
 

@@ -20,7 +20,9 @@ pub struct XorShift {
 impl XorShift {
     /// Seeded generator (seed 0 is mapped to a fixed odd constant).
     pub fn new(seed: u64) -> Self {
-        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        XorShift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -71,7 +73,12 @@ impl TaskQueues {
 
     /// Describe queues at `base` using locks `lock_base..lock_base+queues`.
     pub fn new(base: usize, queues: usize, capacity: usize, lock_base: usize) -> Self {
-        TaskQueues { base, queues, capacity, lock_base }
+        TaskQueues {
+            base,
+            queues,
+            capacity,
+            lock_base,
+        }
     }
 
     /// Address of queue `q`'s header (head word).
@@ -166,7 +173,7 @@ mod tests {
         assert_eq!(mem.read_u64(8), 2); // queue 0 tail
         assert_eq!(mem.read_u64(16), 11);
         assert_eq!(mem.read_u64(24), 22);
-        let q1 = 1 * (2 + 4) * 8;
+        let q1 = (2 + 4) * 8;
         assert_eq!(mem.read_u64(q1 + 8), 1);
         assert_eq!(mem.read_u64(q1 + 16), 33);
     }

@@ -69,7 +69,8 @@ impl Volrend {
                         let dz = z as f64 / VOL as f64 - cz;
                         (1.0 - 8.0 * (dx * dx + dy * dy + dz * dz)).max(0.0)
                     };
-                    let v = 120.0 * f(0.35, 0.4, 0.5) + 100.0 * f(0.7, 0.6, 0.45)
+                    let v = 120.0 * f(0.35, 0.4, 0.5)
+                        + 100.0 * f(0.7, 0.6, 0.45)
                         + 20.0 * rng.next_f64();
                     mem.bytes_mut()[self.vol_addr(x, y, z)] = v.min(255.0) as u8;
                 }
@@ -150,7 +151,9 @@ impl VolrendOriginal {
     /// Image of `img`×`img` pixels (must be a multiple of 4).
     pub fn new(img: usize) -> Self {
         assert_eq!(img % 4, 0);
-        VolrendOriginal { inner: Volrend { img, tile: true } }
+        VolrendOriginal {
+            inner: Volrend { img, tile: true },
+        }
     }
 }
 
@@ -162,7 +165,9 @@ pub struct VolrendRowwise {
 impl VolrendRowwise {
     /// Image of `img`×`img` pixels.
     pub fn new(img: usize) -> Self {
-        VolrendRowwise { inner: Volrend { img, tile: false } }
+        VolrendRowwise {
+            inner: Volrend { img, tile: false },
+        }
     }
 }
 

@@ -130,9 +130,8 @@ impl DsmProgram for WaterNsq {
                 let target = (me + q) % p;
                 let qlo = target * per;
                 let qhi = if target == p - 1 { self.n } else { qlo + per };
-                let any = (qlo..qhi).any(|i| {
-                    acc[3 * i] != 0.0 || acc[3 * i + 1] != 0.0 || acc[3 * i + 2] != 0.0
-                });
+                let any = (qlo..qhi)
+                    .any(|i| acc[3 * i] != 0.0 || acc[3 * i + 1] != 0.0 || acc[3 * i + 2] != 0.0);
                 if !any {
                     continue;
                 }

@@ -58,9 +58,7 @@ impl WaterSpatial {
     }
 
     fn cell_of_pos(&self, p: &[f64; 3]) -> usize {
-        let f = |v: f64| {
-            ((v * self.c as f64) as usize).min(self.c - 1)
-        };
+        let f = |v: f64| ((v * self.c as f64) as usize).min(self.c - 1);
         self.cell_idx(f(p[0]), f(p[1]), f(p[2]))
     }
 
@@ -79,7 +77,15 @@ impl WaterSpatial {
         (id, pos, vel)
     }
 
-    fn write_mol(&self, d: &mut dyn Dsm, cell: usize, slot: usize, id: u64, pos: &[f64; 3], vel: &[f64; 3]) {
+    fn write_mol(
+        &self,
+        d: &mut dyn Dsm,
+        cell: usize,
+        slot: usize,
+        id: u64,
+        pos: &[f64; 3],
+        vel: &[f64; 3],
+    ) {
         let a = self.mol_addr(cell, slot);
         d.write_u64(a, id);
         d.write_f64s(a + 8, pos);
@@ -265,11 +271,7 @@ impl DsmProgram for WaterSpatial {
                 for slot in 0..count.min(CELL_CAP) {
                     let a = self.mol_addr(cell, slot);
                     let id = m.read_u64(a);
-                    let pos = [
-                        m.read_f64(a + 8),
-                        m.read_f64(a + 16),
-                        m.read_f64(a + 24),
-                    ];
+                    let pos = [m.read_f64(a + 8), m.read_f64(a + 16), m.read_f64(a + 24)];
                     v.push((id, pos));
                 }
             }
@@ -279,7 +281,11 @@ impl DsmProgram for WaterSpatial {
         let a = collect(seq);
         let b = collect(par);
         if a.len() != b.len() {
-            return Err(format!("molecule count differs: {} vs {}", a.len(), b.len()));
+            return Err(format!(
+                "molecule count differs: {} vs {}",
+                a.len(),
+                b.len()
+            ));
         }
         for (x, y) in a.iter().zip(&b) {
             if x.0 != y.0 {

@@ -30,7 +30,10 @@ fn ocean_keeps_boundary_conditions_fixed() {
     // The boundary ring is a fixed Dirichlet condition.
     for j in 0..66 {
         let top = img.read_f64((j) * 8);
-        assert!((top - (j as f64) / 128.0).abs() < 1e-12, "boundary moved at (0,{j})");
+        assert!(
+            (top - (j as f64) / 128.0).abs() < 1e-12,
+            "boundary moved at (0,{j})"
+        );
     }
     // Interior values relax into the boundary's range.
     let mid = img.read_f64((33 * 66 + 33) * 8);
@@ -44,7 +47,10 @@ fn water_nsquared_conserves_molecule_count_and_box() {
     for i in 0..64 {
         for k in 0..3 {
             let x = img.read_f64(i * 256 + k * 8);
-            assert!((0.0..=1.0).contains(&x), "molecule {i} escaped the box: {x}");
+            assert!(
+                (0.0..=1.0).contains(&x),
+                "molecule {i} escaped the box: {x}"
+            );
         }
     }
 }
@@ -54,7 +60,7 @@ fn water_spatial_keeps_all_molecules_in_cells() {
     let app = dsm_apps::WaterSpatial::new(3, 96, 1);
     let (img, _) = run_sequential(&app);
     // Count molecules across cells; ids must be a permutation of 0..96.
-    let mut seen = vec![false; 96];
+    let mut seen = [false; 96];
     let cell_bytes = 8 + 24 * 56;
     for cell in 0..27 {
         let ca = cell * cell_bytes;

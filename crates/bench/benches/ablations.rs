@@ -25,7 +25,10 @@ fn delayed_consistency_sweep() {
         let mut cfg = RunConfig::new(Protocol::Sc, 4096);
         cfg.cost.delayed_inval_ns = delay_us * 1000;
         let r = run_experiment(&cfg, app("volrend-original").unwrap());
-        assert!(r.check.is_ok(), "delayed consistency must preserve SC results");
+        assert!(
+            r.check.is_ok(),
+            "delayed consistency must preserve SC results"
+        );
         let tot = r.stats.totals();
         if r.speedup() > best.1 {
             best = (delay_us, r.speedup());
@@ -137,11 +140,7 @@ fn polling_inflation_sweep() {
         fn poll_inflation_pct(&self) -> u32 {
             self.1
         }
-        fn check(
-            &self,
-            seq: &dsm_core::MemImage,
-            par: &dsm_core::MemImage,
-        ) -> Result<(), String> {
+        fn check(&self, seq: &dsm_core::MemImage, par: &dsm_core::MemImage) -> Result<(), String> {
             self.0.check(seq, par)
         }
     }

@@ -11,7 +11,13 @@ fn main() {
     for (p, g) in [(Protocol::Sc, 256), (Protocol::Hlrc, 4096)] {
         println!("{} @ {} B", p.name(), g);
         let mut t = Table::new(&["App", "8 nodes", "16 nodes", "32 nodes"]);
-        for name in ["ocean-rowwise", "fft", "water-nsquared", "water-spatial", "raytrace"] {
+        for name in [
+            "ocean-rowwise",
+            "fft",
+            "water-nsquared",
+            "water-spatial",
+            "raytrace",
+        ] {
             let mut row = vec![name.to_string()];
             for nodes in [8usize, 16, 32] {
                 let cfg = RunConfig::new(p, g).with_nodes(nodes);

@@ -20,7 +20,10 @@ fn main() {
                 assert!(
                     cell.check_err.is_none(),
                     "{} {}@{} failed verification: {:?}",
-                    name, cell.protocol, cell.block, cell.check_err
+                    name,
+                    cell.protocol,
+                    cell.block,
+                    cell.check_err
                 );
             }
         }
@@ -56,7 +59,9 @@ fn main() {
     }
     println!("measured: SC at fine grain within 70% of best: {sc_fine_good}/12 apps (paper: ~7)");
     println!("measured: HLRC at 4096 within 70% of best:     {hlrc_page_good}/12 apps (paper: ~8)");
-    println!("measured: HLRC >= SW-LRC at 4096:              {hlrc_ge_sw_at_4096}/12 apps (paper: 12)");
+    println!(
+        "measured: HLRC >= SW-LRC at 4096:              {hlrc_ge_sw_at_4096}/12 apps (paper: 12)"
+    );
 
     // Barnes-Original: fine-grain SC must beat every relaxed combination.
     let barnes = &all.iter().find(|(n, _)| n == "barnes-original").unwrap().1;

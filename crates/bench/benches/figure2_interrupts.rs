@@ -16,7 +16,10 @@ fn main() {
                 let mut cells = vec![p.name().to_string(), notify.name().to_string()];
                 for g in GRANULARITIES {
                     let c = run_cell(app, p, g, notify);
-                    assert!(c.check_err.is_none(), "{app} {p:?}@{g} {notify}: wrong result");
+                    assert!(
+                        c.check_err.is_none(),
+                        "{app} {p:?}@{g} {notify}: wrong result"
+                    );
                     cells.push(format!("{:.2}", c.speedup()));
                 }
                 t.row(&cells);

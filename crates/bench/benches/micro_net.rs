@@ -8,7 +8,12 @@ use dsm_stats::Table;
 fn main() {
     println!("== Paper §3 microbenchmark: message latencies ==\n");
     let m = LatencyModel::default();
-    let mut t = Table::new(&["Size (B)", "Paper RTT (us)", "Model RTT (us)", "One-way BW (MB/s)"]);
+    let mut t = Table::new(&[
+        "Size (B)",
+        "Paper RTT (us)",
+        "Model RTT (us)",
+        "One-way BW (MB/s)",
+    ]);
     for (size, paper_us) in PAPER_RTT_US {
         t.row(&[
             size.to_string(),

@@ -1,16 +1,37 @@
-//! Criterion microbenchmarks of the protocol-critical primitives: diff
+//! Microbenchmarks of the protocol-critical primitives: diff
 //! creation/application, vector-clock operations, the latency model, and
 //! access-control table lookups.
+//!
+//! Hand-rolled harness (`harness = false`): each benchmark warms up, then
+//! reports the best-of-5 mean time per iteration over a fixed batch.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dsm_mem::{Access, AccessTable};
 use dsm_net::LatencyModel;
 use dsm_proto::diff::Diff;
 use dsm_proto::vt::VClock;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_diff(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diff");
+/// Run `f` in batches of `iters` and print the best mean ns/iter of 5 runs.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 4 {
+        f(); // warm-up
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:<28} {best:>10.1} ns/iter");
+}
+
+fn bench_diff() {
     for size in [64usize, 1024, 4096] {
         let twin = vec![0u8; size];
         let mut cur = twin.clone();
@@ -18,23 +39,18 @@ fn bench_diff(c: &mut Criterion) {
         for i in (0..size).step_by(128) {
             cur[i] = 1;
         }
-        g.bench_function(format!("create_{size}"), |b| {
-            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)))
+        bench(&format!("diff/create_{size}"), 10_000, || {
+            black_box(Diff::create(black_box(&twin), black_box(&cur)));
         });
         let d = Diff::create(&twin, &cur);
-        g.bench_function(format!("apply_{size}"), |b| {
-            b.iter_batched(
-                || twin.clone(),
-                |mut home| d.apply(black_box(&mut home)),
-                BatchSize::SmallInput,
-            )
+        let mut home = twin.clone();
+        bench(&format!("diff/apply_{size}"), 10_000, || {
+            d.apply(black_box(&mut home));
         });
     }
-    g.finish();
 }
 
-fn bench_vclock(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vclock");
+fn bench_vclock() {
     let mut a = VClock::new(16);
     let mut b = VClock::new(16);
     for i in 0..16 {
@@ -45,49 +61,46 @@ fn bench_vclock(c: &mut Criterion) {
             b.tick(i);
         }
     }
-    g.bench_function("merge", |bch| {
-        bch.iter_batched(
-            || a.clone(),
-            |mut x| x.merge(black_box(&b)),
-            BatchSize::SmallInput,
-        )
+    bench("vclock/merge", 100_000, || {
+        let mut x = black_box(a.clone());
+        x.merge(black_box(&b));
+        black_box(x);
     });
-    g.bench_function("missing_intervals", |bch| {
-        bch.iter(|| VClock::missing_intervals(black_box(&a), black_box(&b)))
+    bench("vclock/missing_intervals", 100_000, || {
+        black_box(VClock::missing_intervals(black_box(&a), black_box(&b)));
     });
-    g.finish();
 }
 
-fn bench_latency(c: &mut Criterion) {
+fn bench_latency() {
     let m = LatencyModel::default();
-    c.bench_function("latency_one_way", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for s in [16u64, 80, 300, 1100, 4200] {
-                acc += m.one_way(black_box(s));
-            }
-            acc
-        })
+    bench("latency_one_way", 100_000, || {
+        let mut acc = 0u64;
+        for s in [16u64, 80, 300, 1100, 4200] {
+            acc += m.one_way(black_box(s));
+        }
+        black_box(acc);
     });
 }
 
-fn bench_access_table(c: &mut Criterion) {
+fn bench_access_table() {
     let mut t = AccessTable::new(16, 65536);
     for b in (0..65536).step_by(3) {
         t.set(b % 16, b, Access::Read);
     }
-    c.bench_function("access_check", |bch| {
-        bch.iter(|| {
-            let mut hits = 0u32;
-            for b in (0..65536).step_by(97) {
-                if t.get(black_box(5), black_box(b)).readable() {
-                    hits += 1;
-                }
+    bench("access_check", 10_000, || {
+        let mut hits = 0u32;
+        for b in (0..65536).step_by(97) {
+            if t.get(black_box(5), black_box(b)).readable() {
+                hits += 1;
             }
-            hits
-        })
+        }
+        black_box(hits);
     });
 }
 
-criterion_group!(benches, bench_diff, bench_vclock, bench_latency, bench_access_table);
-criterion_main!(benches);
+fn main() {
+    bench_diff();
+    bench_vclock();
+    bench_latency();
+    bench_access_table();
+}

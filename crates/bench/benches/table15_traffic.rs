@@ -35,5 +35,8 @@ fn main() {
         hl[3] > 4 * sc[0],
         "coarse-grain fragmentation must dominate Barnes traffic"
     );
-    assert!(sw[3] > hl[3], "single-writer migration must move more data than diffs");
+    assert!(
+        sw[3] > hl[3],
+        "single-writer migration must move more data than diffs"
+    );
 }

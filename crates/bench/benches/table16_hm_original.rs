@@ -30,13 +30,24 @@ fn main() {
             }
         }
     }
-    let mut t = Table::new(&["Protocol", "64", "256", "1024", "4096", "g_best", "(paper row)"]);
+    let mut t = Table::new(&[
+        "Protocol",
+        "64",
+        "256",
+        "1024",
+        "4096",
+        "g_best",
+        "(paper row)",
+    ]);
     for (pi, p) in Protocol::ALL.iter().enumerate() {
         let mut cells = vec![p.name().to_string()];
         for g in GRANULARITIES {
             cells.push(format!("{:.3}", m.hm_fixed(p.name(), g)));
         }
-        cells.push(format!("{:.3}", m.hm_best_granularity(p.name(), &GRANULARITIES)));
+        cells.push(format!(
+            "{:.3}",
+            m.hm_best_granularity(p.name(), &GRANULARITIES)
+        ));
         cells.push(
             PAPER_HM_ORIGINAL[pi]
                 .iter()

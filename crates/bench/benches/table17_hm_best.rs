@@ -34,7 +34,10 @@ fn main() {
         for g in GRANULARITIES {
             cells.push(format!("{:.3}", m.hm_fixed(p.name(), g)));
         }
-        cells.push(format!("{:.3}", m.hm_best_granularity(p.name(), &GRANULARITIES)));
+        cells.push(format!(
+            "{:.3}",
+            m.hm_best_granularity(p.name(), &GRANULARITIES)
+        ));
         t.row(&cells);
     }
     let protos: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();

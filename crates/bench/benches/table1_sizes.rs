@@ -32,7 +32,13 @@ fn main() {
     println!("== Table 1: problem sizes and sequential execution times ==\n");
     println!("(sizes scaled down from the paper; sequential times are modeled");
     println!(" 66 MHz HyperSPARC virtual times)\n");
-    let mut t = Table::new(&["Benchmark", "Our size", "Our seq (s)", "Paper size", "Paper seq (s)"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Our size",
+        "Our seq (s)",
+        "Paper size",
+        "Paper seq (s)",
+    ]);
     for name in dsm_apps::registry::all_app_names() {
         let app = dsm_apps::registry::app(name).unwrap();
         let (_, seq_ns) = run_sequential(app.as_ref());

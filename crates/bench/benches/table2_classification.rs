@@ -13,14 +13,63 @@ const PAPER: [(&str, &str, &str, &str, &str, &str); 12] = [
     ("ocean-rowwise", "single", "coarse", "9.88", "323", "coarse"),
     ("ocean-original", "single", "fine", "5.85", "328", "coarse"),
     ("fft", "single", "fine", "170.36", "10", "coarse"),
-    ("water-nsquared", "multiple", "coarse", "59.93", "12", "fine"),
-    ("volrend-rowwise", "multiple", "fine", "17.55", "16", "coarse"),
-    ("volrend-original", "multiple", "fine", "17.55", "16", "coarse"),
-    ("water-spatial", "multiple", "fine", "1439.83", "18", "coarse"),
+    (
+        "water-nsquared",
+        "multiple",
+        "coarse",
+        "59.93",
+        "12",
+        "fine",
+    ),
+    (
+        "volrend-rowwise",
+        "multiple",
+        "fine",
+        "17.55",
+        "16",
+        "coarse",
+    ),
+    (
+        "volrend-original",
+        "multiple",
+        "fine",
+        "17.55",
+        "16",
+        "coarse",
+    ),
+    (
+        "water-spatial",
+        "multiple",
+        "fine",
+        "1439.83",
+        "18",
+        "coarse",
+    ),
     ("raytrace", "multiple", "fine", "100.87", "1", "coarse"),
-    ("barnes-spatial", "multiple", "fine", "157.83", "12", "coarse"),
-    ("barnes-partree", "multiple", "fine", "73.93", "13", "coarse"),
-    ("barnes-original", "multiple", "fine", "0.12 (LRC)", "8", "fine"),
+    (
+        "barnes-spatial",
+        "multiple",
+        "fine",
+        "157.83",
+        "12",
+        "coarse",
+    ),
+    (
+        "barnes-partree",
+        "multiple",
+        "fine",
+        "73.93",
+        "13",
+        "coarse",
+    ),
+    (
+        "barnes-original",
+        "multiple",
+        "fine",
+        "0.12 (LRC)",
+        "8",
+        "fine",
+    ),
 ];
 
 fn main() {

@@ -30,7 +30,10 @@ fn main() {
         println!("{}", fault_table(&grid, paper));
         // Shape summaries.
         let sc_reads = counter_row(&grid[0], |c| c.read_faults);
-        println!("SC read-fault shape (64:256:1024:4096): {}", ratio_row(&sc_reads));
+        println!(
+            "SC read-fault shape (64:256:1024:4096): {}",
+            ratio_row(&sc_reads)
+        );
         println!();
     }
 
@@ -38,7 +41,10 @@ fn main() {
     // LU: read faults fall ~4x per granularity step; no remote write faults.
     let lu = sweep_app("lu");
     let r = counter_row(&lu[0], |c| c.read_faults);
-    assert!(r[0] as f64 / r[1] as f64 > 2.5, "LU reads must scale down with granularity");
+    assert!(
+        r[0] as f64 / r[1] as f64 > 2.5,
+        "LU reads must scale down with granularity"
+    );
     let w = counter_row(&lu[0], |c| c.write_faults);
     // Under SC at 4096 B two 2 KB matrix blocks share a page, so a reader
     // of one downgrades the owner's page and its next write to the

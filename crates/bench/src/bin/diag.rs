@@ -1,20 +1,111 @@
 //! Diagnostic: stat breakdown for one (app, protocol, granularity).
+//!
+//! ```text
+//! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE]
+//! ```
+//!
+//! Human-readable tables by default; `--json` switches to JSON Lines
+//! (per-node records with the time breakdown, then a run record).
+//! `--trace FILE` records the run and writes a Chrome trace-event file
+//! loadable in Perfetto (<https://ui.perfetto.dev>).
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, Protocol, RunConfig};
+use dsm_json::Value;
+use dsm_obs::{chrome_trace, jsonl_metrics, TimeBreakdown};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("lu");
-    let proto: Protocol = args.get(1).map(String::as_str).unwrap_or("sc").parse().unwrap();
-    let block: usize = args.get(2).map(String::as_str).unwrap_or("64").parse().unwrap();
-    let r = run_experiment(&RunConfig::new(proto, block), app(name).unwrap());
+    let mut positional: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                }))
+            }
+            _ => positional.push(a),
+        }
+    }
+    let name = positional.first().map(String::as_str).unwrap_or("lu");
+    let proto: Protocol = positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("sc")
+        .parse()
+        .unwrap();
+    let block: usize = positional
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("64")
+        .parse()
+        .unwrap();
+
+    let mut cfg = RunConfig::new(proto, block);
+    if trace_path.is_some() {
+        cfg = cfg.with_recording();
+    }
+    let r = run_experiment(&cfg, app(name).unwrap());
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, chrome_trace(&r.obs)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote Perfetto trace to {path}");
+    }
+
+    if json {
+        let mut head = Value::obj();
+        head.set("type", "config");
+        head.set("app", name);
+        head.set("protocol", proto.name());
+        head.set("block", block);
+        head.set("speedup", r.speedup());
+        head.set("check_ok", r.check.is_ok());
+        println!("{head}");
+        print!("{}", jsonl_metrics(&r.obs, &r.stats));
+        return;
+    }
+
     let t = r.stats.totals();
     let par = r.stats.parallel_time_ns as f64 / 1e6;
     let seq = r.stats.sequential_time_ns as f64 / 1e6;
-    println!("{name} {proto:?}@{block}: speedup {:.2} (seq {seq:.1}ms par {par:.1}ms) check={:?}", r.speedup(), r.check.is_ok());
-    println!("  faults: r={} w={} local_w={} inval={} fetch_served={}", t.read_faults, t.write_faults, t.local_write_faults, t.invalidations, t.fetches_served);
-    println!("  msgs={} ctrl={}KB data={}KB diffs={} notices={}", t.msgs_sent, t.ctrl_bytes/1024, t.data_bytes/1024, t.diffs_created, t.write_notices_sent);
-    println!("  per-node avg (ms): compute={:.1} poll={:.1} rstall={:.1} wstall={:.1} lock={:.1} barrier={:.1} svc={:.1}",
-        t.compute_ns as f64/16e6, t.poll_overhead_ns as f64/16e6, t.read_stall_ns as f64/16e6,
-        t.write_stall_ns as f64/16e6, t.lock_wait_ns as f64/16e6, t.barrier_wait_ns as f64/16e6, t.service_ns as f64/16e6);
+    println!(
+        "{name} {proto:?}@{block}: speedup {:.2} (seq {seq:.1}ms par {par:.1}ms) check={:?}",
+        r.speedup(),
+        r.check.is_ok()
+    );
+    println!(
+        "  faults: r={} w={} local_w={} inval={} fetch_served={}",
+        t.read_faults, t.write_faults, t.local_write_faults, t.invalidations, t.fetches_served
+    );
+    println!(
+        "  msgs={} ctrl={}KB data={}KB diffs={} notices={}",
+        t.msgs_sent,
+        t.ctrl_bytes / 1024,
+        t.data_bytes / 1024,
+        t.diffs_created,
+        t.write_notices_sent
+    );
+    // Average the paper-style breakdown over the cluster.
+    let nodes = r.stats.per_node.len().max(1);
+    let wall: u64 = r.obs.nodes.iter().map(|n| n.wall_ns()).sum::<u64>() / nodes as u64;
+    let b = TimeBreakdown::from_counters(&t, wall * nodes as u64);
+    let ms = |v: u64| v as f64 / (nodes as f64 * 1e6);
+    println!(
+        "  per-node avg (ms): compute={:.1} poll={:.1} rstall={:.1} wstall={:.1} \
+         lock={:.1} barrier={:.1} proto={:.1} occupancy={:.1}",
+        ms(b.compute_ns),
+        ms(b.poll_overhead_ns),
+        ms(b.read_stall_ns),
+        ms(b.write_stall_ns),
+        ms(b.lock_wait_ns),
+        ms(b.barrier_wait_ns),
+        ms(b.proto_local_ns),
+        ms(b.occupancy_stolen_ns)
+    );
 }

@@ -1,26 +1,61 @@
 //! Quick probe: speedups for a few apps across protocols/granularities.
+//!
+//! ```text
+//! probe [--json] [APP ...]
+//! ```
+//!
+//! Human-readable tables by default; `--json` emits one JSON line per
+//! (app, protocol, granularity) cell.
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, Protocol, RunConfig};
+use dsm_json::Value;
 use std::time::Instant;
 
 fn main() {
-    let names: Vec<String> = std::env::args().skip(1).collect();
-    let names = if names.is_empty() {
-        vec!["lu".to_string(), "ocean-rowwise".into(), "volrend-original".into()]
-    } else {
-        names
-    };
+    let mut json = false;
+    let mut names: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            _ => names.push(a),
+        }
+    }
+    if names.is_empty() {
+        names = vec![
+            "lu".to_string(),
+            "ocean-rowwise".into(),
+            "volrend-original".into(),
+        ];
+    }
     for name in names {
-        println!("== {name} ==");
+        if !json {
+            println!("== {name} ==");
+        }
         for p in Protocol::ALL {
             let mut row = format!("{:8}", p.name());
             for g in [64usize, 256, 1024, 4096] {
                 let t0 = Instant::now();
                 let r = run_experiment(&RunConfig::new(p, g), app(&name).unwrap());
-                let ok = if r.check.is_ok() { "" } else { "!ERR" };
-                row += &format!("  {:5.2}{}({:.1}s)", r.speedup(), ok, t0.elapsed().as_secs_f64());
+                let elapsed = t0.elapsed().as_secs_f64();
+                if json {
+                    let mut v = Value::obj();
+                    v.set("app", name.as_str());
+                    v.set("protocol", p.name());
+                    v.set("block", g);
+                    v.set("speedup", r.speedup());
+                    v.set("check_ok", r.check.is_ok());
+                    v.set("parallel_time_ns", r.stats.parallel_time_ns);
+                    v.set("sequential_time_ns", r.stats.sequential_time_ns);
+                    v.set("host_seconds", elapsed);
+                    println!("{v}");
+                } else {
+                    let ok = if r.check.is_ok() { "" } else { "!ERR" };
+                    row += &format!("  {:5.2}{}({:.1}s)", r.speedup(), ok, elapsed);
+                }
             }
-            println!("{row}");
+            if !json {
+                println!("{row}");
+            }
         }
     }
 }

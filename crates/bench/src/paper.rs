@@ -89,14 +89,37 @@ pub const PAPER_FAULTS: [PaperFaults; 4] = [
 /// Paper Table 16 (HM of relative efficiency, original applications).
 /// Rows: SC, SW-LRC, HLRC; columns: 64, 256, 1024, 4096, g_best.
 pub const PAPER_HM_ORIGINAL: [[Option<f64>; 5]; 3] = [
-    [Some(0.753), Some(0.837), Some(0.717), Some(0.274), Some(0.955)],
-    [Some(0.400), Some(0.749), Some(0.293), Some(0.558), Some(0.861)],
-    [Some(0.388), Some(0.758), Some(0.903), Some(0.927), Some(0.956)],
+    [
+        Some(0.753),
+        Some(0.837),
+        Some(0.717),
+        Some(0.274),
+        Some(0.955),
+    ],
+    [
+        Some(0.400),
+        Some(0.749),
+        Some(0.293),
+        Some(0.558),
+        Some(0.861),
+    ],
+    [
+        Some(0.388),
+        Some(0.758),
+        Some(0.903),
+        Some(0.927),
+        Some(0.956),
+    ],
 ];
 
 /// Paper Table 16 p_best row.
-pub const PAPER_HM_ORIGINAL_PBEST: [Option<f64>; 5] =
-    [Some(0.775), Some(0.895), Some(0.935), Some(0.539), Some(1.0)];
+pub const PAPER_HM_ORIGINAL_PBEST: [Option<f64>; 5] = [
+    Some(0.775),
+    Some(0.895),
+    Some(0.935),
+    Some(0.539),
+    Some(1.0),
+];
 
 /// Paper Table 17 qualitative headline claims (best-version comparison).
 pub const PAPER_TABLE17_NOTES: &[&str] = &[

@@ -28,7 +28,11 @@ pub fn fault_table(grid: &[Vec<CellResult>], paper: Option<&PaperFaults>) -> Str
             (|c: &Counters| c.read_faults) as fn(&Counters) -> u64,
             paper.map(|p| &p.read),
         ),
-        ("Write", |c: &Counters| c.write_faults, paper.map(|p| &p.write)),
+        (
+            "Write",
+            |c: &Counters| c.write_faults,
+            paper.map(|p| &p.write),
+        ),
     ] {
         for (pi, row) in grid.iter().enumerate() {
             let mut cells = vec![kind.to_string(), row[0].protocol.clone()];

@@ -10,17 +10,19 @@ use std::fs;
 use std::path::PathBuf;
 
 use dsm_core::{run_experiment, Notify, Protocol, RunConfig};
+use dsm_json::Value;
 use dsm_stats::RunStats;
-use serde::{Deserialize, Serialize};
 
 /// Bump when protocol or application changes invalidate cached results.
-pub const CACHE_VERSION: u32 = 1;
+/// v2: local access time moved into `compute_ns`; release actions split out
+/// as `proto_local_ns`/`occupancy_stolen_ns`.
+pub const CACHE_VERSION: u32 = 2;
 
 /// The four granularities of the study.
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
 
 /// A cached experiment cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellResult {
     /// Application name.
     pub app: String,
@@ -40,6 +42,36 @@ impl CellResult {
     /// Parallel speedup.
     pub fn speedup(&self) -> f64 {
         self.stats.speedup()
+    }
+
+    /// Serialize for the on-disk cache.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("app", self.app.as_str());
+        v.set("protocol", self.protocol.as_str());
+        v.set("block", self.block as u64);
+        v.set("notify", self.notify.as_str());
+        v.set("stats", self.stats.to_json());
+        match &self.check_err {
+            Some(e) => v.set("check_err", e.as_str()),
+            None => v.set("check_err", Value::Null),
+        };
+        v
+    }
+
+    /// Deserialize a cached cell; `None` on shape mismatch.
+    pub fn from_json(v: &Value) -> Option<CellResult> {
+        Some(CellResult {
+            app: v.get("app")?.as_str()?.to_string(),
+            protocol: v.get("protocol")?.as_str()?.to_string(),
+            block: v.get("block")?.as_u64()? as usize,
+            notify: v.get("notify")?.as_str()?.to_string(),
+            stats: RunStats::from_json(v.get("stats")?)?,
+            check_err: match v.get("check_err") {
+                Some(Value::Str(e)) => Some(e.clone()),
+                _ => None,
+            },
+        })
     }
 }
 
@@ -66,13 +98,16 @@ pub fn run_cell(app: &str, p: Protocol, g: usize, notify: Notify) -> CellResult 
     let refresh = std::env::var("DSM_BENCH_REFRESH").is_ok();
     if !refresh {
         if let Ok(text) = fs::read_to_string(&path) {
-            if let Ok(cell) = serde_json::from_str::<CellResult>(&text) {
+            if let Some(cell) = Value::parse(&text)
+                .ok()
+                .and_then(|v| CellResult::from_json(&v))
+            {
                 return cell;
             }
         }
     }
-    let program = dsm_apps::registry::app(app)
-        .unwrap_or_else(|| panic!("unknown application {app}"));
+    let program =
+        dsm_apps::registry::app(app).unwrap_or_else(|| panic!("unknown application {app}"));
     let cfg = RunConfig::new(p, g).with_notify(notify);
     let r = run_experiment(&cfg, program);
     let cell = CellResult {
@@ -84,9 +119,7 @@ pub fn run_cell(app: &str, p: Protocol, g: usize, notify: Notify) -> CellResult 
         check_err: r.check.err(),
     };
     let _ = fs::create_dir_all(cache_dir());
-    if let Ok(text) = serde_json::to_string(&cell) {
-        let _ = fs::write(&path, text);
-    }
+    let _ = fs::write(&path, cell.to_json().to_string());
     cell
 }
 
@@ -112,4 +145,39 @@ pub fn sweep_all() -> Vec<(String, Vec<Vec<CellResult>>)> {
             (name.to_string(), sweep_app(name))
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_result_round_trips_through_json() {
+        let cell = CellResult {
+            app: "lu".to_string(),
+            protocol: "HLRC".to_string(),
+            block: 1024,
+            notify: "polling".to_string(),
+            stats: RunStats {
+                per_node: vec![Default::default(); 2],
+                parallel_time_ns: 123,
+                sequential_time_ns: 456,
+            },
+            check_err: None,
+        };
+        let text = cell.to_json().to_string();
+        let back = CellResult::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.app, "lu");
+        assert_eq!(back.block, 1024);
+        assert_eq!(back.stats.parallel_time_ns, 123);
+        assert!(back.check_err.is_none());
+
+        let with_err = CellResult {
+            check_err: Some("boom".to_string()),
+            ..cell
+        };
+        let back =
+            CellResult::from_json(&Value::parse(&with_err.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.check_err.as_deref(), Some("boom"));
+    }
 }

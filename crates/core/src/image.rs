@@ -11,7 +11,9 @@ pub struct MemImage {
 impl MemImage {
     /// Zero-filled image of `size` bytes.
     pub fn new(size: usize) -> Self {
-        MemImage { bytes: vec![0; size] }
+        MemImage {
+            bytes: vec![0; size],
+        }
     }
 
     /// Wrap an existing byte vector.

@@ -28,7 +28,7 @@ pub use seq::SeqDsm;
 pub use thread::DsmThread;
 
 pub use dsm_net::{CostModel, LatencyModel, Notify};
-pub use dsm_proto::{Protocol, ProtoConfig};
+pub use dsm_proto::{ProtoConfig, Protocol};
 pub use dsm_stats::{Counters, RunStats};
 
 use std::sync::Arc;

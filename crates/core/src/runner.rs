@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
-use dsm_proto::{final_image, ProtoConfig, Protocol, ProtoWorld};
+use dsm_obs::{ObsConfig, ObsReport};
+use dsm_proto::{final_image, ProtoConfig, ProtoWorld, Protocol};
 use dsm_sim::engine::{run_cluster, NodeBody, NodeCtx};
 use dsm_stats::RunStats;
 
@@ -32,6 +33,8 @@ pub struct RunConfig {
     pub latency: LatencyModel,
     /// First-touch home migration (paper policy). False = static homes.
     pub first_touch: bool,
+    /// Observability: event recording configuration.
+    pub obs: ObsConfig,
 }
 
 impl RunConfig {
@@ -45,6 +48,7 @@ impl RunConfig {
             cost: CostModel::default(),
             latency: LatencyModel::default(),
             first_touch: true,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -65,6 +69,12 @@ impl RunConfig {
         self.notify = notify;
         self
     }
+
+    /// Same configuration with full event recording enabled.
+    pub fn with_recording(mut self) -> Self {
+        self.obs = ObsConfig::recording();
+        self
+    }
 }
 
 /// Everything a parallel run produces.
@@ -75,6 +85,8 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// Final authoritative memory image.
     pub image: MemImage,
+    /// Per-node event streams, histograms, and measured wall intervals.
+    pub obs: ObsReport,
 }
 
 /// Run `program` on the simulated cluster under `cfg`.
@@ -89,6 +101,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         latency: cfg.latency.clone(),
         poll_inflation_pct: program.poll_inflation_pct(),
         first_touch: cfg.first_touch,
+        obs: cfg.obs.clone(),
     };
     let mut world = ProtoWorld::new(pcfg);
     let mut golden = MemImage::new(layout.size());
@@ -109,11 +122,14 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
                 t.begin_measurement();
                 prog.run(&mut t);
                 t.flush();
+                let me = ctx.node();
+                ctx.world(move |w, s| w.obs.note_end(me, s.now()));
             }) as NodeBody<ProtoWorld>
         })
         .collect();
 
-    let (world, end) = run_cluster(world, bodies);
+    let (mut world, end) = run_cluster(world, bodies);
+    let obs = world.obs.take_report();
     RunOutcome {
         stats: RunStats {
             per_node: world.stats.clone(),
@@ -121,6 +137,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
             sequential_time_ns: 0,
         },
         image: MemImage::from_bytes(final_image(&world)),
+        obs,
     }
 }
 
@@ -152,6 +169,8 @@ pub struct ExperimentResult {
     pub stats: RunStats,
     /// Result of checking the parallel image against the sequential one.
     pub check: Result<(), String>,
+    /// Observability report from the parallel run.
+    pub obs: ObsReport,
 }
 
 impl ExperimentResult {
@@ -172,6 +191,7 @@ pub fn run_experiment(cfg: &RunConfig, program: Program) -> ExperimentResult {
         config: cfg.clone(),
         stats: out.stats,
         check,
+        obs: out.obs,
     }
 }
 

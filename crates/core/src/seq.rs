@@ -17,12 +17,20 @@ pub struct SeqDsm {
 impl SeqDsm {
     /// Start from a golden image.
     pub fn new(mem: MemImage) -> Self {
-        SeqDsm { mem, time_ns: 0, cost: CostModel::default() }
+        SeqDsm {
+            mem,
+            time_ns: 0,
+            cost: CostModel::default(),
+        }
     }
 
     /// Start from a golden image with explicit platform costs.
     pub fn with_cost(mem: MemImage, cost: CostModel) -> Self {
-        SeqDsm { mem, time_ns: 0, cost }
+        SeqDsm {
+            mem,
+            time_ns: 0,
+            cost,
+        }
     }
 
     /// Modeled sequential execution time so far, in ns.

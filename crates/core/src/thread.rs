@@ -1,6 +1,7 @@
 //! The parallel run-time: a [`Dsm`] implementation backed by the simulated
 //! cluster and the coherence protocols.
 
+use dsm_obs::EventKind;
 use dsm_proto::msg::FaultKind;
 use dsm_proto::ops::{self, Attempt};
 use dsm_proto::ProtoWorld;
@@ -82,7 +83,12 @@ impl<'a> DsmThread<'a> {
         self.flush();
         let t0 = self.ctx.now();
         let me = self.me;
-        self.ctx.world(move |w, s| ops::start_fault(w, s, me, b, kind));
+        let write = matches!(kind, FaultKind::Write);
+        self.ctx.world(move |w, s| {
+            w.obs
+                .record(me, s.now(), EventKind::FaultBegin { block: b, write });
+            ops::start_fault(w, s, me, b, kind)
+        });
         self.ctx.block();
         let dt = self.ctx.now() - t0;
         self.ctx.world(move |w, s| {
@@ -91,10 +97,14 @@ impl<'a> DsmThread<'a> {
                 FaultKind::Read => st.read_stall_ns += dt,
                 FaultKind::Write => st.write_stall_ns += dt,
             }
-            dsm_proto::ptrace!(
-                s.now(), me, b,
-                "fault done {kind:?} after {dt}ns access={:?}",
-                w.access.get(me, b)
+            w.obs.record(
+                me,
+                s.now(),
+                EventKind::FaultEnd {
+                    block: b,
+                    write,
+                    dur: dt,
+                },
             );
         });
     }
@@ -103,8 +113,22 @@ impl<'a> DsmThread<'a> {
         // Polling instrumentation inflates all locally executed work.
         let overhead = t * self.inflation_pct as Time / 100;
         self.pending_ns += t + overhead;
+        self.compute_acc += t;
         self.poll_acc += overhead;
         self.maybe_flush();
+    }
+
+    /// A fault resolved locally (HLRC twin, SW-LRC re-enable): advance past
+    /// the local protocol action and charge it to `proto_local_ns`.
+    fn local_fault(&mut self, b: usize, t: Time) {
+        self.flush();
+        self.ctx.advance(t);
+        let me = self.me;
+        self.ctx.world(move |w, s| {
+            w.stats[me].proto_local_ns += t;
+            w.obs
+                .record(me, s.now(), EventKind::LocalFault { block: b, dur: t });
+        });
     }
 
     /// Split `[addr, addr+len)` at coherence-block boundaries and run `f`
@@ -128,7 +152,6 @@ impl<'a> DsmThread<'a> {
             off += take;
         }
     }
-
 }
 
 impl Dsm for DsmThread<'_> {
@@ -150,6 +173,7 @@ impl Dsm for DsmThread<'_> {
         self.ctx.world(move |w, s| {
             w.stats[me] = Default::default();
             let now = s.now();
+            w.obs.note_begin(me, now);
             if w.measure_start < now {
                 w.measure_start = now;
             }
@@ -157,7 +181,6 @@ impl Dsm for DsmThread<'_> {
     }
 
     fn compute(&mut self, ns: u64) {
-        self.compute_acc += ns;
         self.charge_local(ns);
     }
 
@@ -177,10 +200,7 @@ impl Dsm for DsmThread<'_> {
                         this.charge_local(t);
                         return;
                     }
-                    Attempt::LocalFault(t) => {
-                        this.flush();
-                        this.ctx.advance(t);
-                    }
+                    Attempt::LocalFault(t, b) => this.local_fault(b, t),
                     Attempt::Fault(b) => this.fault(b, FaultKind::Read),
                 }
                 spins += 1;
@@ -195,16 +215,15 @@ impl Dsm for DsmThread<'_> {
             let chunk = &data[range];
             let mut spins = 0u32;
             loop {
-                let attempt = this.ctx.world(|w, _| ops::try_write(w, me, a, chunk));
+                let attempt = this
+                    .ctx
+                    .world(|w, s| ops::try_write(w, me, a, chunk, s.now()));
                 match attempt {
                     Attempt::Done(t) => {
                         this.charge_local(t);
                         return;
                     }
-                    Attempt::LocalFault(t) => {
-                        this.flush();
-                        this.ctx.advance(t);
-                    }
+                    Attempt::LocalFault(t, b) => this.local_fault(b, t),
                     Attempt::Fault(b) => this.fault(b, FaultKind::Write),
                 }
                 spins += 1;
@@ -221,8 +240,11 @@ impl Dsm for DsmThread<'_> {
             .world(move |w, s| dsm_proto::sync::lock_acquire_start(w, s, me, l));
         self.ctx.block();
         let dt = self.ctx.now() - t0;
-        self.ctx
-            .world(move |w, _| w.stats[me].lock_wait_ns += dt);
+        self.ctx.world(move |w, s| {
+            w.stats[me].lock_wait_ns += dt;
+            w.obs
+                .record(me, s.now(), EventKind::LockWait { lock: l, dur: dt });
+        });
     }
 
     fn unlock(&mut self, l: usize) {
@@ -232,23 +254,38 @@ impl Dsm for DsmThread<'_> {
             .ctx
             .world(move |w, s| dsm_proto::sync::lock_release_start(w, s, me, l));
         if t > 0 {
+            // Release-time protocol work (diffing under HLRC) runs on the
+            // application thread; charge it as local protocol time.
             self.ctx.advance(t);
+            self.ctx.world(move |w, _| w.stats[me].proto_local_ns += t);
         }
     }
 
     fn barrier(&mut self, b: usize) {
         self.flush();
-        let t0 = self.ctx.now();
         let me = self.me;
         let t = self
             .ctx
             .world(move |w, s| dsm_proto::sync::barrier_arrive_start(w, s, me, b));
         if t > 0 {
+            // As in `unlock`: release actions are protocol work, not part of
+            // the wait for the other participants.
             self.ctx.advance(t);
+            self.ctx.world(move |w, _| w.stats[me].proto_local_ns += t);
         }
+        let t0 = self.ctx.now();
         self.ctx.block();
         let dt = self.ctx.now() - t0;
-        self.ctx
-            .world(move |w, _| w.stats[me].barrier_wait_ns += dt);
+        self.ctx.world(move |w, s| {
+            w.stats[me].barrier_wait_ns += dt;
+            w.obs.record(
+                me,
+                s.now(),
+                EventKind::BarrierWait {
+                    barrier: b,
+                    dur: dt,
+                },
+            );
+        });
     }
 }

@@ -208,7 +208,13 @@ fn locked_counter_is_atomic_everywhere() {
 #[test]
 fn false_sharing_converges_everywhere() {
     for cfg in all_configs() {
-        run_checked(&cfg, Arc::new(FalseSharing { words: 64, phases: 4 }));
+        run_checked(
+            &cfg,
+            Arc::new(FalseSharing {
+                words: 64,
+                phases: 4,
+            }),
+        );
     }
 }
 
@@ -216,7 +222,13 @@ fn false_sharing_converges_everywhere() {
 fn interrupt_mechanism_also_correct() {
     for p in Protocol::ALL {
         let cfg = RunConfig::new(p, 1024).with_notify(Notify::Interrupt);
-        run_checked(&cfg, Arc::new(FalseSharing { words: 64, phases: 3 }));
+        run_checked(
+            &cfg,
+            Arc::new(FalseSharing {
+                words: 64,
+                phases: 3,
+            }),
+        );
         run_checked(&cfg, Arc::new(LockedCounter { rounds: 4 }));
     }
 }
@@ -224,15 +236,32 @@ fn interrupt_mechanism_also_correct() {
 #[test]
 fn runs_are_deterministic() {
     let cfg = RunConfig::new(Protocol::Hlrc, 256);
-    let a = run_experiment(&cfg, Arc::new(FalseSharing { words: 96, phases: 3 }));
-    let b = run_experiment(&cfg, Arc::new(FalseSharing { words: 96, phases: 3 }));
+    let a = run_experiment(
+        &cfg,
+        Arc::new(FalseSharing {
+            words: 96,
+            phases: 3,
+        }),
+    );
+    let b = run_experiment(
+        &cfg,
+        Arc::new(FalseSharing {
+            words: 96,
+            phases: 3,
+        }),
+    );
     assert_eq!(a.stats.parallel_time_ns, b.stats.parallel_time_ns);
     assert_eq!(a.stats.totals(), b.stats.totals());
 }
 
 #[test]
 fn relaxed_protocols_reduce_faults_on_false_sharing_at_coarse_grain() {
-    let mk = || Arc::new(FalseSharing { words: 512, phases: 6 });
+    let mk = || {
+        Arc::new(FalseSharing {
+            words: 512,
+            phases: 6,
+        })
+    };
     let sc = run_experiment(&RunConfig::new(Protocol::Sc, 4096), mk());
     let hlrc = run_experiment(&RunConfig::new(Protocol::Hlrc, 4096), mk());
     let sc_faults = sc.stats.totals().read_faults + sc.stats.totals().write_faults;

@@ -140,7 +140,13 @@ mod tests {
     fn later_touchers_fetch_then_cache() {
         let mut d = HomeDirectory::new(4, 8);
         let _ = d.touch(2, 5);
-        assert_eq!(d.touch(0, 5), HomeLookup::Fetched { home: 2, directory: 1 });
+        assert_eq!(
+            d.touch(0, 5),
+            HomeLookup::Fetched {
+                home: 2,
+                directory: 1
+            }
+        );
         assert_eq!(d.touch(0, 5), HomeLookup::Cached(2));
     }
 

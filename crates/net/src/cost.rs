@@ -1,7 +1,7 @@
 //! Node-side platform cost constants.
 
-use dsm_sim::Time;
 use crate::Notify;
+use dsm_sim::Time;
 
 /// Platform cost model for the simulated testbed.
 ///
@@ -57,10 +57,10 @@ impl Default for CostModel {
         CostModel {
             fault_exception_ns: 5_000,
             handler_ns: 2_000,
-            per_byte_copy_ns_x100: 500,    // 5 ns/B
-            diff_scan_ns_x100: 1_500,      // 15 ns/B
-            diff_apply_ns_x100: 1_000,     // 10 ns/B
-            twin_copy_ns_x100: 1_000,      // 10 ns/B
+            per_byte_copy_ns_x100: 500, // 5 ns/B
+            diff_scan_ns_x100: 1_500,   // 15 ns/B
+            diff_apply_ns_x100: 1_000,  // 10 ns/B
+            twin_copy_ns_x100: 1_000,   // 10 ns/B
             local_access_ns: 60,
             poll_service_delay_ns: 2_000,
             poll_inflation_pct: 15,

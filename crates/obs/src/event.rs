@@ -1,0 +1,339 @@
+//! Typed protocol events, stamped with virtual time by the [`Recorder`].
+//!
+//! [`Recorder`]: crate::recorder::Recorder
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time (ns) at which the event was recorded. For duration
+    /// events ([`EventKind::dur`] is `Some`), this is the *end* of the
+    /// interval.
+    pub ts: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event payload. Every variant is `Copy`, so recording never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fault that needs remote communication starts being serviced.
+    FaultBegin {
+        /// Faulting coherence block.
+        block: usize,
+        /// True for write faults, false for read faults.
+        write: bool,
+    },
+    /// A remote fault finished; `dur` is the full stall (ns).
+    FaultEnd {
+        /// Faulting coherence block.
+        block: usize,
+        /// True for write faults, false for read faults.
+        write: bool,
+        /// Stall duration in virtual ns.
+        dur: u64,
+    },
+    /// A fault resolved locally (twin creation, write re-enable).
+    LocalFault {
+        /// Faulting coherence block.
+        block: usize,
+        /// Local service time in virtual ns.
+        dur: u64,
+    },
+    /// A protocol message left this node.
+    MsgSend {
+        /// Destination node.
+        to: usize,
+        /// Message tag (the `ProtoMsg` variant name).
+        tag: &'static str,
+        /// Coherence block the message concerns, if any.
+        block: Option<usize>,
+        /// Control bytes on the wire (header included).
+        ctrl: u64,
+        /// Data payload bytes on the wire.
+        data: u64,
+    },
+    /// A protocol message was delivered to this node.
+    MsgRecv {
+        /// Message tag (the `ProtoMsg` variant name).
+        tag: &'static str,
+        /// Coherence block the message concerns, if any.
+        block: Option<usize>,
+    },
+    /// An asynchronous message was serviced via interrupt.
+    Interrupt,
+    /// HLRC created a twin for a block.
+    TwinCreate {
+        /// Twinned coherence block.
+        block: usize,
+    },
+    /// HLRC encoded a diff at a release.
+    DiffCreate {
+        /// Diffed coherence block.
+        block: usize,
+        /// Encoded diff payload size in bytes.
+        bytes: u64,
+    },
+    /// A home node applied an incoming diff.
+    DiffApply {
+        /// Target coherence block.
+        block: usize,
+        /// Applied diff payload size in bytes.
+        bytes: u64,
+    },
+    /// Write notices were transferred (sent with a grant/release, or
+    /// processed at an acquire).
+    WriteNotices {
+        /// Number of notices in the batch.
+        count: u64,
+        /// True when processing notices at an acquire; false when sending.
+        acquire: bool,
+    },
+    /// A block was invalidated at this node.
+    Invalidate {
+        /// Invalidated coherence block.
+        block: usize,
+    },
+    /// A lock acquire completed; `dur` is the wait (ns).
+    LockWait {
+        /// Lock id.
+        lock: usize,
+        /// Wait duration in virtual ns.
+        dur: u64,
+    },
+    /// A barrier episode completed; `dur` is the wait (ns).
+    BarrierWait {
+        /// Barrier id.
+        barrier: usize,
+        /// Wait duration in virtual ns.
+        dur: u64,
+    },
+    /// The node advanced its local clock (compute or local protocol work).
+    Advance {
+        /// Length of the advanced segment in virtual ns.
+        dur: u64,
+    },
+}
+
+impl EventKind {
+    /// Number of distinct kinds (size of per-kind count arrays).
+    pub const COUNT: usize = 14;
+
+    /// Index of [`EventKind::FaultBegin`] in count arrays.
+    pub const IDX_FAULT_BEGIN: usize = 0;
+    /// Index of [`EventKind::FaultEnd`].
+    pub const IDX_FAULT_END: usize = 1;
+    /// Index of [`EventKind::LocalFault`].
+    pub const IDX_LOCAL_FAULT: usize = 2;
+    /// Index of [`EventKind::MsgSend`].
+    pub const IDX_MSG_SEND: usize = 3;
+    /// Index of [`EventKind::MsgRecv`].
+    pub const IDX_MSG_RECV: usize = 4;
+    /// Index of [`EventKind::Interrupt`].
+    pub const IDX_INTERRUPT: usize = 5;
+    /// Index of [`EventKind::TwinCreate`].
+    pub const IDX_TWIN_CREATE: usize = 6;
+    /// Index of [`EventKind::DiffCreate`].
+    pub const IDX_DIFF_CREATE: usize = 7;
+    /// Index of [`EventKind::DiffApply`].
+    pub const IDX_DIFF_APPLY: usize = 8;
+    /// Index of [`EventKind::WriteNotices`].
+    pub const IDX_WRITE_NOTICES: usize = 9;
+    /// Index of [`EventKind::Invalidate`].
+    pub const IDX_INVALIDATE: usize = 10;
+    /// Index of [`EventKind::LockWait`].
+    pub const IDX_LOCK_WAIT: usize = 11;
+    /// Index of [`EventKind::BarrierWait`].
+    pub const IDX_BARRIER_WAIT: usize = 12;
+    /// Index of [`EventKind::Advance`].
+    pub const IDX_ADVANCE: usize = 13;
+
+    /// Kind names, aligned with [`EventKind::index`].
+    pub const NAMES: [&'static str; Self::COUNT] = [
+        "fault_begin",
+        "fault_end",
+        "local_fault",
+        "msg_send",
+        "msg_recv",
+        "interrupt",
+        "twin_create",
+        "diff_create",
+        "diff_apply",
+        "write_notices",
+        "invalidate",
+        "lock_wait",
+        "barrier_wait",
+        "advance",
+    ];
+
+    /// Dense index of this kind, for count arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::FaultBegin { .. } => Self::IDX_FAULT_BEGIN,
+            EventKind::FaultEnd { .. } => Self::IDX_FAULT_END,
+            EventKind::LocalFault { .. } => Self::IDX_LOCAL_FAULT,
+            EventKind::MsgSend { .. } => Self::IDX_MSG_SEND,
+            EventKind::MsgRecv { .. } => Self::IDX_MSG_RECV,
+            EventKind::Interrupt => Self::IDX_INTERRUPT,
+            EventKind::TwinCreate { .. } => Self::IDX_TWIN_CREATE,
+            EventKind::DiffCreate { .. } => Self::IDX_DIFF_CREATE,
+            EventKind::DiffApply { .. } => Self::IDX_DIFF_APPLY,
+            EventKind::WriteNotices { .. } => Self::IDX_WRITE_NOTICES,
+            EventKind::Invalidate { .. } => Self::IDX_INVALIDATE,
+            EventKind::LockWait { .. } => Self::IDX_LOCK_WAIT,
+            EventKind::BarrierWait { .. } => Self::IDX_BARRIER_WAIT,
+            EventKind::Advance { .. } => Self::IDX_ADVANCE,
+        }
+    }
+
+    /// Short stable name of this kind.
+    pub fn name(&self) -> &'static str {
+        Self::NAMES[self.index()]
+    }
+
+    /// Coherence block this event concerns, when it has one (used by the
+    /// `DSM_TRACE` per-block filter).
+    pub fn block(&self) -> Option<usize> {
+        match *self {
+            EventKind::FaultBegin { block, .. }
+            | EventKind::FaultEnd { block, .. }
+            | EventKind::LocalFault { block, .. }
+            | EventKind::TwinCreate { block }
+            | EventKind::DiffCreate { block, .. }
+            | EventKind::DiffApply { block, .. }
+            | EventKind::Invalidate { block } => Some(block),
+            EventKind::MsgSend { block, .. } | EventKind::MsgRecv { block, .. } => block,
+            _ => None,
+        }
+    }
+
+    /// Duration of the interval ending at the event's timestamp, for kinds
+    /// that represent a span of virtual time.
+    pub fn dur(&self) -> Option<u64> {
+        match *self {
+            EventKind::FaultEnd { dur, .. }
+            | EventKind::LocalFault { dur, .. }
+            | EventKind::LockWait { dur, .. }
+            | EventKind::BarrierWait { dur, .. }
+            | EventKind::Advance { dur } => Some(dur),
+            _ => None,
+        }
+    }
+
+    /// Human-readable one-line description (used by the trace view; allowed
+    /// to allocate because it only runs when tracing is on).
+    pub fn describe(&self) -> String {
+        match *self {
+            EventKind::FaultBegin { block, write } => {
+                format!("fault_begin block={block} kind={}", rw(write))
+            }
+            EventKind::FaultEnd { block, write, dur } => {
+                format!("fault_end block={block} kind={} stall={dur}ns", rw(write))
+            }
+            EventKind::LocalFault { block, dur } => {
+                format!("local_fault block={block} service={dur}ns")
+            }
+            EventKind::MsgSend {
+                to,
+                tag,
+                block,
+                ctrl,
+                data,
+            } => format!(
+                "msg_send to=n{to} tag={tag}{} ctrl={ctrl}B data={data}B",
+                opt_block(block)
+            ),
+            EventKind::MsgRecv { tag, block } => {
+                format!("msg_recv tag={tag}{}", opt_block(block))
+            }
+            EventKind::Interrupt => "interrupt".to_string(),
+            EventKind::TwinCreate { block } => format!("twin_create block={block}"),
+            EventKind::DiffCreate { block, bytes } => {
+                format!("diff_create block={block} bytes={bytes}")
+            }
+            EventKind::DiffApply { block, bytes } => {
+                format!("diff_apply block={block} bytes={bytes}")
+            }
+            EventKind::WriteNotices { count, acquire } => format!(
+                "write_notices count={count} at={}",
+                if acquire { "acquire" } else { "release" }
+            ),
+            EventKind::Invalidate { block } => format!("invalidate block={block}"),
+            EventKind::LockWait { lock, dur } => format!("lock_wait lock={lock} wait={dur}ns"),
+            EventKind::BarrierWait { barrier, dur } => {
+                format!("barrier_wait barrier={barrier} wait={dur}ns")
+            }
+            EventKind::Advance { dur } => format!("advance dur={dur}ns"),
+        }
+    }
+}
+
+fn rw(write: bool) -> &'static str {
+    if write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+fn opt_block(block: Option<usize>) -> String {
+    block.map_or(String::new(), |b| format!(" block={b}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_name_align() {
+        let kinds = [
+            EventKind::FaultBegin {
+                block: 1,
+                write: false,
+            },
+            EventKind::FaultEnd {
+                block: 1,
+                write: true,
+                dur: 2,
+            },
+            EventKind::LocalFault { block: 1, dur: 2 },
+            EventKind::MsgSend {
+                to: 0,
+                tag: "t",
+                block: None,
+                ctrl: 1,
+                data: 2,
+            },
+            EventKind::MsgRecv {
+                tag: "t",
+                block: Some(3),
+            },
+            EventKind::Interrupt,
+            EventKind::TwinCreate { block: 1 },
+            EventKind::DiffCreate { block: 1, bytes: 8 },
+            EventKind::DiffApply { block: 1, bytes: 8 },
+            EventKind::WriteNotices {
+                count: 2,
+                acquire: true,
+            },
+            EventKind::Invalidate { block: 1 },
+            EventKind::LockWait { lock: 0, dur: 5 },
+            EventKind::BarrierWait { barrier: 0, dur: 5 },
+            EventKind::Advance { dur: 5 },
+        ];
+        assert_eq!(kinds.len(), EventKind::COUNT);
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(k.name(), EventKind::NAMES[i]);
+            assert!(!k.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn block_and_dur_extraction() {
+        assert_eq!(EventKind::Invalidate { block: 7 }.block(), Some(7));
+        assert_eq!(EventKind::Interrupt.block(), None);
+        assert_eq!(EventKind::Advance { dur: 9 }.dur(), Some(9));
+        assert_eq!(EventKind::TwinCreate { block: 0 }.dur(), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) and JSONL
+//! metrics for bench runs.
+
+use std::fmt::Write as _;
+
+use dsm_json::Value;
+use dsm_stats::RunStats;
+
+use crate::breakdown::TimeBreakdown;
+use crate::event::EventKind;
+use crate::recorder::{NodeObs, ObsReport};
+
+/// Serialize a recorded run as Chrome trace-event JSON.
+///
+/// The output loads in Perfetto (or `chrome://tracing`): one track per
+/// simulated node (`pid` 1, `tid` = node id), timestamps on the virtual
+/// clock in microseconds. Duration events (faults, sync waits, compute
+/// segments) become complete (`"X"`) slices; the rest become instants
+/// (`"i"`).
+pub fn chrome_trace(report: &ObsReport) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, line: &str, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"dsm\"}}",
+        &mut first,
+    );
+    for (node, _) in report.nodes.iter().enumerate() {
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{node},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+    for (node, rec) in report.nodes.iter().enumerate() {
+        for ev in &rec.events {
+            let mut line = String::new();
+            let name = ev.kind.name();
+            match ev.kind.dur() {
+                Some(dur) => {
+                    // ev.ts is the end of the interval.
+                    let start = ev.ts.saturating_sub(dur);
+                    write!(
+                        line,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{node},\"name\":\"{name}\",\
+                         \"ts\":{},\"dur\":{},\"args\":{}}}",
+                        us(start),
+                        us(dur),
+                        args_json(&ev.kind)
+                    )
+                    .unwrap();
+                }
+                None => {
+                    write!(
+                        line,
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{node},\
+                         \"name\":\"{name}\",\"ts\":{},\"args\":{}}}",
+                        us(ev.ts),
+                        args_json(&ev.kind)
+                    )
+                    .unwrap();
+                }
+            }
+            push(&mut out, &line, &mut first);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Nanoseconds to microseconds with sub-µs precision preserved.
+fn us(ns: u64) -> String {
+    if ns.is_multiple_of(1000) {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{:.3}", ns as f64 / 1000.0)
+    }
+}
+
+/// Event payload details as a JSON object (the trace `args` field).
+fn args_json(kind: &EventKind) -> Value {
+    let mut v = Value::obj();
+    match *kind {
+        EventKind::FaultBegin { block, write } | EventKind::FaultEnd { block, write, .. } => {
+            v.set("block", block);
+            v.set("write", write);
+        }
+        EventKind::LocalFault { block, .. }
+        | EventKind::TwinCreate { block }
+        | EventKind::Invalidate { block } => {
+            v.set("block", block);
+        }
+        EventKind::MsgSend {
+            to,
+            tag,
+            block,
+            ctrl,
+            data,
+        } => {
+            v.set("to", to);
+            v.set("tag", tag);
+            if let Some(b) = block {
+                v.set("block", b);
+            }
+            v.set("ctrl_bytes", ctrl);
+            v.set("data_bytes", data);
+        }
+        EventKind::MsgRecv { tag, block } => {
+            v.set("tag", tag);
+            if let Some(b) = block {
+                v.set("block", b);
+            }
+        }
+        EventKind::DiffCreate { block, bytes } | EventKind::DiffApply { block, bytes } => {
+            v.set("block", block);
+            v.set("bytes", bytes);
+        }
+        EventKind::WriteNotices { count, acquire } => {
+            v.set("count", count);
+            v.set("acquire", acquire);
+        }
+        EventKind::LockWait { lock, .. } => {
+            v.set("lock", lock);
+        }
+        EventKind::BarrierWait { barrier, .. } => {
+            v.set("barrier", barrier);
+        }
+        EventKind::Interrupt | EventKind::Advance { .. } => {}
+    }
+    v
+}
+
+/// One node's metrics as a JSON object (one JSONL line).
+fn node_line(node: usize, rec: &NodeObs, stats: &RunStats) -> Value {
+    let mut v = Value::obj();
+    v.set("type", "node");
+    v.set("node", node);
+    v.set("wall_ns", rec.wall_ns());
+    if let Some(c) = stats.per_node.get(node) {
+        v.set(
+            "breakdown",
+            TimeBreakdown::from_counters(c, rec.wall_ns()).to_json(),
+        );
+        v.set("counters", c.to_json());
+    }
+    let mut counts = Value::obj();
+    for (i, name) in EventKind::NAMES.iter().enumerate() {
+        if rec.counts[i] > 0 {
+            counts.set(name, rec.counts[i]);
+        }
+    }
+    let mut events = Value::obj();
+    events.set("dropped", rec.dropped);
+    events.set("counts", counts);
+    v.set("events", events);
+    let mut hists = Value::obj();
+    hists.set("fault_ns", rec.fault_ns.to_json());
+    hists.set("msg_bytes", rec.msg_bytes.to_json());
+    hists.set("diff_bytes", rec.diff_bytes.to_json());
+    v.set("hists", hists);
+    v
+}
+
+/// Serialize run metrics as JSON Lines: one `"node"` record per node,
+/// then one `"run"` record with totals.
+pub fn jsonl_metrics(report: &ObsReport, stats: &RunStats) -> String {
+    let mut out = String::new();
+    for (node, rec) in report.nodes.iter().enumerate() {
+        out.push_str(&node_line(node, rec, stats).to_string());
+        out.push('\n');
+    }
+    let mut run = Value::obj();
+    run.set("type", "run");
+    run.set("nodes", report.nodes.len());
+    run.set("parallel_time_ns", stats.parallel_time_ns);
+    run.set("sequential_time_ns", stats.sequential_time_ns);
+    run.set("speedup", stats.speedup());
+    run.set("counters", stats.totals().to_json());
+    out.push_str(&run.to_string());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::filter::TraceFilter;
+    use crate::recorder::{ObsConfig, Recorder};
+    use dsm_stats::Counters;
+
+    fn sample_report() -> ObsReport {
+        let cfg = ObsConfig {
+            record_events: true,
+            ring_capacity: 128,
+        };
+        let mut r = Recorder::with_trace(2, &cfg, TraceFilter::Off);
+        r.note_begin(0, 0);
+        r.note_begin(1, 0);
+        r.record(
+            0,
+            100,
+            EventKind::FaultBegin {
+                block: 3,
+                write: false,
+            },
+        );
+        r.record(
+            0,
+            2600,
+            EventKind::FaultEnd {
+                block: 3,
+                write: false,
+                dur: 2500,
+            },
+        );
+        r.record(
+            1,
+            50,
+            EventKind::MsgSend {
+                to: 0,
+                tag: "ScFetch",
+                block: Some(3),
+                ctrl: 16,
+                data: 0,
+            },
+        );
+        r.record(1, 777, EventKind::Interrupt);
+        r.record(
+            1,
+            4000,
+            EventKind::BarrierWait {
+                barrier: 0,
+                dur: 1500,
+            },
+        );
+        r.note_end(0, 5000);
+        r.note_end(1, 5000);
+        r.take_report()
+    }
+
+    fn sample_stats() -> RunStats {
+        RunStats {
+            per_node: vec![
+                Counters {
+                    compute_ns: 2500,
+                    read_stall_ns: 2500,
+                    ..Default::default()
+                },
+                Counters {
+                    compute_ns: 3500,
+                    barrier_wait_ns: 1500,
+                    ..Default::default()
+                },
+            ],
+            parallel_time_ns: 5000,
+            sequential_time_ns: 9000,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let report = sample_report();
+        let text = chrome_trace(&report);
+        let v = Value::parse(&text).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process meta + 2 thread metas + 5 events
+        assert_eq!(events.len(), 8);
+        let mut tids = std::collections::BTreeSet::new();
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(ev.get("pid").unwrap().as_u64().is_some());
+            assert!(ev.get("name").unwrap().as_str().is_some());
+            match ph {
+                "M" => {}
+                "X" => {
+                    assert!(ev.get("ts").unwrap().as_f64().is_some());
+                    assert!(ev.get("dur").unwrap().as_f64().is_some());
+                    tids.insert(ev.u64_field("tid").unwrap());
+                }
+                "i" => {
+                    assert!(ev.get("ts").unwrap().as_f64().is_some());
+                    tids.insert(ev.u64_field("tid").unwrap());
+                }
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        // one track per node
+        assert_eq!(tids, [0u64, 1].into_iter().collect());
+        // X slices start at ts = end - dur (in µs)
+        let fault = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("fault_end"))
+            .unwrap();
+        assert!((fault.get("ts").unwrap().as_f64().unwrap() - 0.1).abs() < 1e-9);
+        assert!((fault.get("dur").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_sum() {
+        let report = sample_report();
+        let stats = sample_stats();
+        let text = jsonl_metrics(&report, &stats);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let n0 = Value::parse(lines[0]).unwrap();
+        assert_eq!(n0.get("type").unwrap().as_str(), Some("node"));
+        assert_eq!(n0.u64_field("wall_ns"), Some(5000));
+        let b = n0.get("breakdown").unwrap();
+        assert_eq!(b.u64_field("compute_ns"), Some(2500));
+        assert_eq!(b.get("residual_ns").unwrap().as_i64(), Some(0));
+        let run = Value::parse(lines[2]).unwrap();
+        assert_eq!(run.get("type").unwrap().as_str(), Some("run"));
+        assert_eq!(run.u64_field("parallel_time_ns"), Some(5000));
+        assert_eq!(
+            run.get("counters").unwrap().u64_field("compute_ns"),
+            Some(6000)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Power-of-two histograms for latency and size distributions.
+
+use dsm_json::Value;
+
+/// Number of buckets: one for zero, then one per bit position of u64.
+const BUCKETS: usize = 65;
+
+/// A log2 histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Alongside the buckets the histogram tracks count,
+/// sum, min and max, so summary statistics stay exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Clear all samples.
+    pub fn reset(&mut self) {
+        *self = Hist::default();
+    }
+
+    /// Encode as a JSON object. Buckets are emitted sparsely as
+    /// `[lower_bound, count]` pairs for non-empty buckets only.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("count", self.count);
+        v.set("sum", self.sum);
+        v.set("min", self.min());
+        v.set("max", self.max());
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Arr(vec![Value::from(Self::bucket_lo(i)), Value::from(c)]))
+            .collect();
+        v.set("buckets", Value::Arr(buckets));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        // lower bounds invert the mapping
+        for i in 1..BUCKETS {
+            assert_eq!(Hist::bucket_of(Hist::bucket_lo(i)), i);
+        }
+    }
+
+    #[test]
+    fn summary_stats() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 5, 5, 100] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Hist::new();
+        h.add(3);
+        h.add(3);
+        let v = h.to_json();
+        assert_eq!(v.u64_field("count"), Some(2));
+        let buckets = v.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].as_arr().unwrap()[0].as_u64(), Some(2)); // lo of [2,4)
+        assert_eq!(buckets[0].as_arr().unwrap()[1].as_u64(), Some(2)); // count
+    }
+}

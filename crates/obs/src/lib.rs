@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Structured observability for the DSM reproduction.
+//!
+//! The paper's whole argument (§5) is cost attribution: fault counts,
+//! message/traffic tables, and where execution time goes. This crate gives
+//! the simulator a first-class observability layer in that style:
+//!
+//! * a low-overhead [`Recorder`] of typed protocol [`Event`]s — per-node
+//!   ring buffers stamped with virtual time, one branch when disabled;
+//! * a per-node execution [`TimeBreakdown`] (compute / stalls / sync waits /
+//!   local protocol work / stolen occupancy / poll overhead) that sums to
+//!   the node's virtual wall time;
+//! * log2 [`Hist`]ograms for fault service latency, message and diff sizes;
+//! * exporters: Chrome trace-event JSON ([`chrome_trace`], loadable in
+//!   Perfetto with one track per simulated node on the virtual clock) and
+//!   JSONL metrics ([`jsonl_metrics`]).
+//!
+//! The old `DSM_TRACE` `eprintln!` hack is now a *view* over the event
+//! stream: when the env filter matches, events are also printed as they are
+//! recorded (see [`TraceFilter`]).
+
+pub mod breakdown;
+pub mod event;
+pub mod export;
+pub mod filter;
+pub mod hist;
+pub mod recorder;
+
+pub use breakdown::TimeBreakdown;
+pub use event::{Event, EventKind};
+pub use export::{chrome_trace, jsonl_metrics};
+pub use filter::TraceFilter;
+pub use hist::Hist;
+pub use recorder::{NodeObs, ObsConfig, ObsReport, Recorder};

@@ -1,7 +1,8 @@
 //! Protocol/run configuration.
 
-use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_mem::Layout;
+use dsm_net::{CostModel, LatencyModel, Notify};
+use dsm_obs::ObsConfig;
 
 /// The three consistency protocols studied in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +73,8 @@ pub struct ProtoConfig {
     /// First-touch home migration (the paper's policy). When false, homes
     /// stay statically round-robin assigned — the ablation baseline.
     pub first_touch: bool,
+    /// Observability: structured event recording configuration.
+    pub obs: ObsConfig,
 }
 
 impl ProtoConfig {
@@ -88,6 +91,7 @@ impl ProtoConfig {
             latency: LatencyModel::default(),
             poll_inflation_pct: poll,
             first_touch: true,
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dsm_mem::{Access, BlockId};
+use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::diff::Diff;
@@ -94,7 +95,12 @@ pub fn start_fault(
         depart,
         ctrl,
         0,
-        ProtoMsg::HlFetchReq { from: me, block: b, kind, needs },
+        ProtoMsg::HlFetchReq {
+            from: me,
+            block: b,
+            kind,
+            needs,
+        },
     );
 }
 
@@ -115,7 +121,10 @@ pub fn handle_fetch(
             if w.hl.satisfied(b, &needs) {
                 serve_fetch(w, s, me, from, b, now + handler);
             } else {
-                w.hl.waiting.entry(b).or_default().push(Waiter { from, kind, needs });
+                w.hl.waiting
+                    .entry(b)
+                    .or_default()
+                    .push(Waiter { from, kind, needs });
             }
         }
         Some(h) => {
@@ -128,7 +137,12 @@ pub fn handle_fetch(
                 now + handler,
                 ctrl,
                 0,
-                ProtoMsg::HlFetchReq { from, block: b, kind, needs },
+                ProtoMsg::HlFetchReq {
+                    from,
+                    block: b,
+                    kind,
+                    needs,
+                },
             );
         }
         None => {
@@ -140,7 +154,15 @@ pub fn handle_fetch(
                     // written the block.
                     w.homes.claim_for(b, from);
                     w.homes.learn(me, b, from);
-                    w.send(s, me, from, now + handler, 0, 0, ProtoMsg::HlNowHome { block: b });
+                    w.send(
+                        s,
+                        me,
+                        from,
+                        now + handler,
+                        0,
+                        0,
+                        ProtoMsg::HlNowHome { block: b },
+                    );
                 }
                 FaultKind::Read => {
                     // Unclaimed read: the directory is the interim home and
@@ -165,7 +187,15 @@ fn serve_fetch(
     let c = w.cfg.cost.copy_cost(bs);
     w.occupy(s, me, c);
     w.stats[me].fetches_served += 1;
-    w.send(s, me, from, at + c, 0, bs, ProtoMsg::HlData { block: b, home: me });
+    w.send(
+        s,
+        me,
+        from,
+        at + c,
+        0,
+        bs,
+        ProtoMsg::HlData { block: b, home: me },
+    );
 }
 
 /// Block data at the requester: install access (twinning on write faults).
@@ -183,14 +213,16 @@ pub fn handle_data(
     }
     w.data.copy_block(b, home, me);
     w.hl.needs.remove(&(me, b));
-    let kind = w.hl.pending_kind[me].take().expect("HlData without a pending fault");
+    let kind = w.hl.pending_kind[me]
+        .take()
+        .expect("HlData without a pending fault");
     let mut at = s.now() + w.cfg.cost.handler_ns;
     match kind {
         FaultKind::Read => w.access.set(me, b, Access::Read),
         FaultKind::Write => {
             // The home writes its master copy in place; everyone else twins.
             if w.homes.home(b) != Some(me) {
-                at += make_twin(w, me, b);
+                at += make_twin(w, me, b, s.now());
             }
             w.access.set(me, b, Access::ReadWrite);
             w.nodes[me].mark_dirty(b);
@@ -203,7 +235,9 @@ pub fn handle_data(
 /// Home-claim confirmation at the first writer.
 pub fn handle_now_home(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
     w.homes.learn(me, b, me);
-    let kind = w.hl.pending_kind[me].take().expect("HlNowHome without a pending fault");
+    let kind = w.hl.pending_kind[me]
+        .take()
+        .expect("HlNowHome without a pending fault");
     debug_assert_eq!(kind, FaultKind::Write);
     // The home writes its master copy in place: no twin.
     w.access.set(me, b, Access::ReadWrite);
@@ -225,6 +259,14 @@ pub fn handle_diff(
 ) {
     debug_assert_eq!(w.homes.home(b), Some(me), "diff sent to a non-home");
     let apply_cost = w.cfg.cost.diff_apply_cost(diff.data_bytes().max(8));
+    w.obs.record(
+        me,
+        s.now(),
+        EventKind::DiffApply {
+            block: b,
+            bytes: diff.wire_bytes(),
+        },
+    );
     let r = w.cfg.layout.block_range(b);
     diff.apply(&mut w.data.node_mut(me)[r]);
     w.occupy(s, me, apply_cost);
@@ -235,7 +277,12 @@ pub fn handle_diff(
 
 /// Record that `writer`'s diffs through `interval` are present at the home.
 pub fn record_flush(w: &mut ProtoWorld, b: BlockId, writer: NodeId, interval: u32) {
-    let f = w.hl.flushed.entry(b).or_default().entry(writer).or_insert(0);
+    let f =
+        w.hl.flushed
+            .entry(b)
+            .or_default()
+            .entry(writer)
+            .or_insert(0);
     *f = (*f).max(interval);
 }
 
@@ -258,18 +305,25 @@ fn serve_satisfied(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: B
     }
     for (k, waiter) in ready.into_iter().enumerate() {
         let _ = waiter.kind; // kind is re-read from pending_kind at the requester
-        serve_fetch(w, s, me, waiter.from, b, at + k as Time * w.cfg.cost.handler_ns);
+        serve_fetch(
+            w,
+            s,
+            me,
+            waiter.from,
+            b,
+            at + k as Time * w.cfg.cost.handler_ns,
+        );
     }
 }
 
 /// Local write fault on a valid read-only copy: twin it (remote blocks) or
 /// write in place (home blocks). Returns the local cost. (Counted by the
 /// caller as a local write fault.)
-pub fn local_write_fault(w: &mut ProtoWorld, me: NodeId, b: BlockId) -> Time {
+pub fn local_write_fault(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) -> Time {
     debug_assert_eq!(w.access.get(me, b), Access::Read);
     let mut cost = w.cfg.cost.fault_exception_ns;
     if w.homes.home(b) != Some(me) {
-        cost += make_twin(w, me, b);
+        cost += make_twin(w, me, b, now);
     }
     w.access.set(me, b, Access::ReadWrite);
     w.nodes[me].mark_dirty(b);
@@ -277,7 +331,8 @@ pub fn local_write_fault(w: &mut ProtoWorld, me: NodeId, b: BlockId) -> Time {
     cost
 }
 
-fn make_twin(w: &mut ProtoWorld, me: NodeId, b: BlockId) -> Time {
+fn make_twin(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) -> Time {
+    w.obs.record(me, now, EventKind::TwinCreate { block: b });
     let r = w.cfg.layout.block_range(b);
     let twin = w.data.node(me)[r].to_vec();
     w.nodes[me].twins.insert(b, twin);
@@ -315,6 +370,14 @@ pub fn release_dirty(
             let wire = diff.wire_bytes();
             w.stats[me].diffs_created += 1;
             w.stats[me].diff_bytes += wire;
+            w.obs.record(
+                me,
+                s.now(),
+                EventKind::DiffCreate {
+                    block: b,
+                    bytes: wire,
+                },
+            );
             let home = w.route_home(b);
             debug_assert_ne!(home, me);
             w.send(
@@ -324,23 +387,40 @@ pub fn release_dirty(
                 s.now() + elapsed,
                 0,
                 wire,
-                ProtoMsg::HlDiff { from: me, block: b, diff, interval },
+                ProtoMsg::HlDiff {
+                    from: me,
+                    block: b,
+                    diff,
+                    interval,
+                },
             );
-            notices.push(Notice { block: b, writer: me, version: interval });
+            notices.push(Notice {
+                block: b,
+                writer: me,
+                version: interval,
+            });
         } else if w.homes.home(b) == Some(me) {
             // Home block: the master copy already has the writes.
             record_flush(w, b, me, interval);
             if w.access.get(me, b) == Access::ReadWrite {
                 w.access.set(me, b, Access::Read);
             }
-            notices.push(Notice { block: b, writer: me, version: interval });
+            notices.push(Notice {
+                block: b,
+                writer: me,
+                version: interval,
+            });
             // A queued fetch may have been waiting on our own flush.
             serve_satisfied(w, s, me, b, s.now() + w.cfg.cost.handler_ns);
         } else {
             // Twin was flushed early (on an incoming notice mid-interval):
             // the diff is already home-bound tagged with this interval;
             // announce it now.
-            notices.push(Notice { block: b, writer: me, version: interval });
+            notices.push(Notice {
+                block: b,
+                writer: me,
+                version: interval,
+            });
         }
     }
     w.stats[me].write_notices_sent += notices.len() as u64;
@@ -349,12 +429,7 @@ pub fn release_dirty(
 
 /// Acquire-time notice application: record the requirement and invalidate
 /// the local copy (flushing our own concurrent dirty twin first).
-pub fn apply_notice(
-    w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
-    me: NodeId,
-    n: &Notice,
-) -> Time {
+pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, n: &Notice) -> Time {
     debug_assert_ne!(n.writer, me);
     w.hl.add_need(me, n.block, n.writer, n.version);
     let mut elapsed: Time = 0;
@@ -368,6 +443,14 @@ pub fn apply_notice(
             let wire = diff.wire_bytes();
             w.stats[me].diffs_created += 1;
             w.stats[me].diff_bytes += wire;
+            w.obs.record(
+                me,
+                s.now(),
+                EventKind::DiffCreate {
+                    block: n.block,
+                    bytes: wire,
+                },
+            );
             let home = w.route_home(n.block);
             let my_interval = w.nodes[me].vt.get(me) + 1;
             w.send(
@@ -377,7 +460,12 @@ pub fn apply_notice(
                 s.now() + elapsed,
                 0,
                 wire,
-                ProtoMsg::HlDiff { from: me, block: n.block, diff, interval: my_interval },
+                ProtoMsg::HlDiff {
+                    from: me,
+                    block: n.block,
+                    diff,
+                    interval: my_interval,
+                },
             );
         }
         // Stays in the dirty list: the next release announces the interval.
@@ -385,6 +473,8 @@ pub fn apply_notice(
     if w.access.get(me, n.block) != Access::Invalid {
         w.access.set(me, n.block, Access::Invalid);
         w.stats[me].invalidations += 1;
+        w.obs
+            .record(me, s.now(), EventKind::Invalidate { block: n.block });
     }
     elapsed
 }
@@ -399,8 +489,11 @@ mod tests {
     use dsm_sim::engine::SchedInner;
 
     fn setup() -> (ProtoWorld, SchedInner<Envelope>) {
-        let mut cfg =
-            ProtoConfig::new(Layout::new(4096, 256), crate::Protocol::Hlrc, Notify::Polling);
+        let mut cfg = ProtoConfig::new(
+            Layout::new(4096, 256),
+            crate::Protocol::Hlrc,
+            Notify::Polling,
+        );
         cfg.nodes = 4;
         let mut w = ProtoWorld::new(cfg);
         w.load_golden(&vec![3u8; 4096]);
@@ -412,14 +505,26 @@ mod tests {
         let (mut w, mut s) = setup();
         w.homes.assign(0, 0);
         handle_fetch(&mut w, &mut s, 0, 2, 0, FaultKind::Read, vec![(1, 4)]);
-        assert!(s.take_events().is_empty(), "fetch must wait for writer 1's diff");
+        assert!(
+            s.take_events().is_empty(),
+            "fetch must wait for writer 1's diff"
+        );
         // The diff for interval 4 arrives: the parked fetch is served.
         let mut diff = Diff::default();
-        diff.runs.push(crate::diff::DiffRun { offset: 0, bytes: vec![9, 9] });
+        diff.runs.push(crate::diff::DiffRun {
+            offset: 0,
+            bytes: vec![9, 9],
+        });
         handle_diff(&mut w, &mut s, 0, 1, 0, diff, 4);
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 2
-            && matches!(m, Some(Envelope { msg: ProtoMsg::HlData { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::HlData { .. },
+                    ..
+                })
+            )));
         // And the diff landed in the home copy.
         assert_eq!(w.data.node(0)[0], 9);
     }
@@ -434,7 +539,10 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert!(matches!(
             &evs[0].2,
-            Some(Envelope { msg: ProtoMsg::HlData { .. }, .. })
+            Some(Envelope {
+                msg: ProtoMsg::HlData { .. },
+                ..
+            })
         ));
     }
 
@@ -446,7 +554,13 @@ mod tests {
         assert_eq!(w.homes.home(1), Some(3));
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 3
-            && matches!(m, Some(Envelope { msg: ProtoMsg::HlNowHome { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::HlNowHome { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -455,13 +569,16 @@ mod tests {
         w.homes.assign(0, 1);
         w.homes.assign(1, 2);
         w.access.set(2, 0, Access::Read);
-        let cost = local_write_fault(&mut w, 2, 0);
+        let cost = local_write_fault(&mut w, 2, 0, 0);
         assert!(cost > 0);
         assert!(w.nodes[2].twins.contains_key(&0), "remote block must twin");
         // A home block is written in place.
         w.access.set(2, 1, Access::Read);
-        local_write_fault(&mut w, 2, 1);
-        assert!(!w.nodes[2].twins.contains_key(&1), "home block must not twin");
+        local_write_fault(&mut w, 2, 1, 0);
+        assert!(
+            !w.nodes[2].twins.contains_key(&1),
+            "home block must not twin"
+        );
         assert_eq!(w.nodes[2].dirty, vec![0, 1]);
     }
 
@@ -472,8 +589,8 @@ mod tests {
         w.homes.assign(1, 1);
         w.access.set(2, 0, Access::Read);
         w.access.set(2, 1, Access::Read);
-        local_write_fault(&mut w, 2, 0);
-        local_write_fault(&mut w, 2, 1);
+        local_write_fault(&mut w, 2, 0, 0);
+        local_write_fault(&mut w, 2, 1, 0);
         // Block 0 really changes; block 1 is rewritten with identical bytes.
         w.data.node_mut(2)[5] = 0xAB;
         let (notices, elapsed) = release_dirty(&mut w, &mut s, 2, 1);
@@ -483,7 +600,13 @@ mod tests {
         assert_eq!(w.stats[2].diffs_created, 1);
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 1
-            && matches!(m, Some(Envelope { msg: ProtoMsg::HlDiff { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::HlDiff { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -491,15 +614,30 @@ mod tests {
         let (mut w, mut s) = setup();
         w.homes.assign(0, 1);
         w.access.set(2, 0, Access::Read);
-        local_write_fault(&mut w, 2, 0);
+        local_write_fault(&mut w, 2, 0, 0);
         w.data.node_mut(2)[7] = 0xCD;
-        apply_notice(&mut w, &mut s, 2, &Notice { block: 0, writer: 3, version: 2 });
+        apply_notice(
+            &mut w,
+            &mut s,
+            2,
+            &Notice {
+                block: 0,
+                writer: 3,
+                version: 2,
+            },
+        );
         assert_eq!(w.access.get(2, 0), Access::Invalid);
         assert!(!w.nodes[2].twins.contains_key(&0), "twin flushed early");
         // Our own uncommitted change went home as a diff.
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 1
-            && matches!(m, Some(Envelope { msg: ProtoMsg::HlDiff { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::HlDiff { .. },
+                    ..
+                })
+            )));
         // And the need for writer 3's interval 2 is remembered.
         assert!(!w.hl.satisfied(0, &[(3, 2)]));
     }

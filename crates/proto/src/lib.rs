@@ -22,7 +22,6 @@ pub mod ops;
 pub mod sc;
 pub mod swlrc;
 pub mod sync;
-pub mod trace;
 pub mod vt;
 pub mod world;
 

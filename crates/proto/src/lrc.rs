@@ -99,13 +99,23 @@ pub fn acquire_actions(
     };
     w.nodes[me].vt.merge(vt);
     w.stats[me].write_notices_recv += notices.len() as u64;
+    if !notices.is_empty() {
+        w.obs.record(
+            me,
+            s.now(),
+            dsm_obs::EventKind::WriteNotices {
+                count: notices.len() as u64,
+                acquire: true,
+            },
+        );
+    }
     let mut elapsed = notices.len() as Time * NOTICE_PROC_NS;
     for n in notices {
         if n.writer == me {
             continue;
         }
         elapsed += match w.cfg.protocol {
-            Protocol::SwLrc => swlrc::apply_notice(w, me, n),
+            Protocol::SwLrc => swlrc::apply_notice(w, me, n, s.now()),
             Protocol::Hlrc => hlrc::apply_notice(w, s, me, n),
             Protocol::Sc => unreachable!("SC grant carried a vector time"),
         };
@@ -122,7 +132,11 @@ mod tests {
     use super::*;
 
     fn notice(b: usize, w: usize, v: u32) -> Notice {
-        Notice { block: b, writer: w, version: v }
+        Notice {
+            block: b,
+            writer: w,
+            version: v,
+        }
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub enum ProtoMsg {
     /// Owner -> home: block data written back (carries block payload);
     /// `invalidated` tells the home whether the owner dropped (true) or
     /// downgraded (false) its copy.
-    ScWriteBack { from: NodeId, block: BlockId, invalidated: bool },
+    ScWriteBack {
+        from: NodeId,
+        block: BlockId,
+        invalidated: bool,
+    },
     /// Sharer -> home: invalidation acknowledged (no data).
     ScInvalAck { from: NodeId, block: BlockId },
     /// Home -> requester: grant. `with_data` carries the block payload;
@@ -164,17 +168,79 @@ pub struct Envelope {
 impl Envelope {
     /// Fresh envelope, subject to notification-model deferral.
     pub fn new(msg: ProtoMsg) -> Self {
-        Envelope { msg, deferred: false }
+        Envelope {
+            msg,
+            deferred: false,
+        }
     }
 
     /// Envelope that is processed at its arrival time (replies to spinning
     /// nodes, self-posts, already-deferred requests).
     pub fn immediate(msg: ProtoMsg) -> Self {
-        Envelope { msg, deferred: true }
+        Envelope {
+            msg,
+            deferred: true,
+        }
     }
 }
 
 impl ProtoMsg {
+    /// Stable short name of the message variant, used as the event tag in
+    /// the observability stream.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ProtoMsg::ScReadReq { .. } => "ScReadReq",
+            ProtoMsg::ScWriteReq { .. } => "ScWriteReq",
+            ProtoMsg::ScFetchBack { .. } => "ScFetchBack",
+            ProtoMsg::ScInval { .. } => "ScInval",
+            ProtoMsg::ScWriteBack { .. } => "ScWriteBack",
+            ProtoMsg::ScInvalAck { .. } => "ScInvalAck",
+            ProtoMsg::ScGrant { .. } => "ScGrant",
+            ProtoMsg::ScNowHome { .. } => "ScNowHome",
+            ProtoMsg::ScGrantAck { .. } => "ScGrantAck",
+            ProtoMsg::SwReq { .. } => "SwReq",
+            ProtoMsg::SwReply { .. } => "SwReply",
+            ProtoMsg::SwNowOwner { .. } => "SwNowOwner",
+            ProtoMsg::HlFetchReq { .. } => "HlFetchReq",
+            ProtoMsg::HlData { .. } => "HlData",
+            ProtoMsg::HlDiff { .. } => "HlDiff",
+            ProtoMsg::HlNowHome { .. } => "HlNowHome",
+            ProtoMsg::LockReq { .. } => "LockReq",
+            ProtoMsg::LockGrant { .. } => "LockGrant",
+            ProtoMsg::LockRel { .. } => "LockRel",
+            ProtoMsg::BarArrive { .. } => "BarArrive",
+            ProtoMsg::BarRelease { .. } => "BarRelease",
+        }
+    }
+
+    /// The coherence block this message concerns, if any (synchronization
+    /// messages have none).
+    pub fn concerns_block(&self) -> Option<BlockId> {
+        match *self {
+            ProtoMsg::ScReadReq { block, .. }
+            | ProtoMsg::ScWriteReq { block, .. }
+            | ProtoMsg::ScFetchBack { block }
+            | ProtoMsg::ScInval { block }
+            | ProtoMsg::ScWriteBack { block, .. }
+            | ProtoMsg::ScInvalAck { block, .. }
+            | ProtoMsg::ScGrant { block, .. }
+            | ProtoMsg::ScNowHome { block, .. }
+            | ProtoMsg::ScGrantAck { block, .. }
+            | ProtoMsg::SwReq { block, .. }
+            | ProtoMsg::SwReply { block, .. }
+            | ProtoMsg::SwNowOwner { block }
+            | ProtoMsg::HlFetchReq { block, .. }
+            | ProtoMsg::HlData { block, .. }
+            | ProtoMsg::HlDiff { block, .. }
+            | ProtoMsg::HlNowHome { block } => Some(block),
+            ProtoMsg::LockReq { .. }
+            | ProtoMsg::LockGrant { .. }
+            | ProtoMsg::LockRel { .. }
+            | ProtoMsg::BarArrive { .. }
+            | ProtoMsg::BarRelease { .. } => None,
+        }
+    }
+
     /// Whether this message is an asynchronous *request* whose service time
     /// depends on the target's notification mechanism. Replies that wake a
     /// spinning (blocked) requester are never deferred.
@@ -211,7 +277,12 @@ mod tests {
         }
         .needs_service());
         assert!(!ProtoMsg::ScInvalAck { from: 0, block: 1 }.needs_service());
-        assert!(!ProtoMsg::ScWriteBack { from: 0, block: 1, invalidated: true }.needs_service());
+        assert!(!ProtoMsg::ScWriteBack {
+            from: 0,
+            block: 1,
+            invalidated: true
+        }
+        .needs_service());
     }
 
     #[test]

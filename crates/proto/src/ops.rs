@@ -14,9 +14,9 @@ use crate::{hlrc, sc, swlrc};
 pub enum Attempt {
     /// The access completed; charge this local time.
     Done(Time),
-    /// A fault was resolved locally (HLRC twinning, SW-LRC write
-    /// re-enable); charge this time and retry the access.
-    LocalFault(Time),
+    /// A fault on the given block was resolved locally (HLRC twinning,
+    /// SW-LRC write re-enable); charge this time and retry the access.
+    LocalFault(Time, BlockId),
     /// The access faults remotely on this block; start a fault, block, and
     /// retry.
     Fault(BlockId),
@@ -40,8 +40,9 @@ pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8]) -> 
     Attempt::Done(access_cost(w, buf.len()))
 }
 
-/// Attempt to write `data` at `addr`.
-pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8]) -> Attempt {
+/// Attempt to write `data` at `addr`. `now` stamps locally-resolved fault
+/// events.
+pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8], now: Time) -> Attempt {
     let layout = w.cfg.layout;
     for b in layout.blocks_covering(addr, data.len()) {
         match w.access.get(me, b) {
@@ -50,7 +51,7 @@ pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8]) -> At
                 Protocol::Sc => return Attempt::Fault(b),
                 Protocol::SwLrc => {
                     if w.sw.is_owner(me, b) {
-                        return Attempt::LocalFault(swlrc::local_reenable(w, me, b));
+                        return Attempt::LocalFault(swlrc::local_reenable(w, me, b), b);
                     }
                     return Attempt::Fault(b);
                 }
@@ -60,7 +61,7 @@ pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8]) -> At
                     if w.homes.home(b).is_none() {
                         return Attempt::Fault(b);
                     }
-                    return Attempt::LocalFault(hlrc::local_write_fault(w, me, b));
+                    return Attempt::LocalFault(hlrc::local_write_fault(w, me, b, now), b);
                 }
             },
             Access::Invalid => return Attempt::Fault(b),
@@ -123,7 +124,10 @@ mod tests {
     fn write_on_read_copy_faults_under_sc() {
         let mut w = world(Protocol::Sc);
         w.access.set(0, 3, Access::Read);
-        assert_eq!(try_write(&mut w, 0, 3 * 64, &[1, 2, 3]), Attempt::Fault(3));
+        assert_eq!(
+            try_write(&mut w, 0, 3 * 64, &[1, 2, 3], 0),
+            Attempt::Fault(3)
+        );
     }
 
     #[test]
@@ -131,14 +135,17 @@ mod tests {
         let mut w = world(Protocol::Hlrc);
         w.homes.assign(3, 1); // remote home
         w.access.set(0, 3, Access::Read);
-        match try_write(&mut w, 0, 3 * 64, &[9]) {
-            Attempt::LocalFault(t) => assert!(t >= w.cfg.cost.fault_exception_ns),
+        match try_write(&mut w, 0, 3 * 64, &[9], 0) {
+            Attempt::LocalFault(t, b) => {
+                assert!(t >= w.cfg.cost.fault_exception_ns);
+                assert_eq!(b, 3);
+            }
             other => panic!("expected LocalFault, got {other:?}"),
         }
         assert!(w.nodes[0].twins.contains_key(&3));
         assert_eq!(w.access.get(0, 3), Access::ReadWrite);
         // Retry succeeds and the write lands.
-        match try_write(&mut w, 0, 3 * 64, &[9]) {
+        match try_write(&mut w, 0, 3 * 64, &[9], 0) {
             Attempt::Done(_) => {}
             other => panic!("expected Done, got {other:?}"),
         }

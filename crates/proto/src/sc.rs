@@ -11,11 +11,11 @@
 use std::collections::VecDeque;
 
 use dsm_mem::{Access, BlockId};
+use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::msg::{Envelope, FaultKind, ProtoMsg};
 use crate::world::{grant_access, ProtoWorld};
-
 
 /// One directory entry, conceptually located at the block's home.
 #[derive(Debug, Default, Clone)]
@@ -87,7 +87,6 @@ pub fn start_fault(
     w.nodes[me].pending_fault = Some((b, kind));
     w.nodes[me].fault_poisoned = false;
     w.nodes[me].fault_retries = 0;
-    crate::ptrace!(s.now(), me, b, "start_fault {kind:?}");
     let depart = s.now() + w.cfg.cost.fault_exception_ns + w.cfg.cost.handler_ns;
     let target = w
         .homes
@@ -134,12 +133,24 @@ pub fn handle_request(
             // confirms (handle_now_home completes it at the new home).
             let e = w.sc.entry(b);
             debug_assert!(e.pending.is_none() && e.owner.is_none() && e.sharers == 0);
-            e.pending = Some(Pending { requester: from, kind, acks_left: 0 });
+            e.pending = Some(Pending {
+                requester: from,
+                kind,
+                acks_left: 0,
+            });
             match kind {
                 FaultKind::Read => e.sharers = bit(from),
                 FaultKind::Write => e.owner = Some(from),
             }
-            w.send(s, me, from, now + handler, 0, 0, ProtoMsg::ScNowHome { block: b, kind });
+            w.send(
+                s,
+                me,
+                from,
+                now + handler,
+                0,
+                0,
+                ProtoMsg::ScNowHome { block: b, kind },
+            );
         }
     }
 }
@@ -154,14 +165,17 @@ fn process_dir_request(
     kind: FaultKind,
     at: Time,
 ) {
-    crate::ptrace!(s.now(), from, b, "dir request {kind:?} at home {home} busy={}", w.sc.dir(b).map(|e| e.pending.is_some()).unwrap_or(false));
     {
         let e = w.sc.entry(b);
         if e.pending.is_some() {
             e.waiters.push_back((from, kind));
             return;
         }
-        e.pending = Some(Pending { requester: from, kind, acks_left: 0 });
+        e.pending = Some(Pending {
+            requester: from,
+            kind,
+            acks_left: 0,
+        });
     }
     match kind {
         FaultKind::Read => begin_read(w, s, home, from, b, at),
@@ -229,7 +243,12 @@ fn send_read_grant(
         at + extra,
         0,
         data,
-        ProtoMsg::ScGrant { block: b, exclusive: false, with_data, home },
+        ProtoMsg::ScGrant {
+            block: b,
+            exclusive: false,
+            with_data,
+            home,
+        },
     );
     // Read grants complete immediately: concurrent readers are served
     // back-to-back. The grant/invalidation race this opens is handled at
@@ -261,6 +280,7 @@ fn begin_write(
         if w.access.get(home, b) != Access::Invalid {
             w.access.set(home, b, Access::Invalid);
             w.stats[home].invalidations += 1;
+            w.obs.record(home, at, EventKind::Invalidate { block: b });
         }
     }
     let mut acks = 0u32;
@@ -317,13 +337,17 @@ fn complete_write(
         at + extra,
         0,
         data,
-        ProtoMsg::ScGrant { block: b, exclusive: true, with_data, home },
+        ProtoMsg::ScGrant {
+            block: b,
+            exclusive: true,
+            with_data,
+            home,
+        },
     );
 }
 
 /// Fetch-back at the exclusive owner: downgrade to read-only, ship data home.
 pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
-    crate::ptrace!(s.now(), me, b, "fetch_back access={:?}", w.access.get(me, b));
     debug_assert_eq!(w.access.get(me, b), Access::ReadWrite);
     w.access.set(me, b, Access::Read);
     let bs = w.block_size() as u64;
@@ -337,13 +361,16 @@ pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId
         s.now() + w.cfg.cost.handler_ns + c,
         0,
         bs,
-        ProtoMsg::ScWriteBack { from: me, block: b, invalidated: false },
+        ProtoMsg::ScWriteBack {
+            from: me,
+            block: b,
+            invalidated: false,
+        },
     );
 }
 
 /// Invalidation at a sharer or owner.
 pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
-    crate::ptrace!(s.now(), me, b, "inval access={:?} pending={:?}", w.access.get(me, b), w.nodes[me].pending_fault);
     // An invalidation overtaking our in-flight read grant for the same
     // block poisons the grant: it must be discarded and retried.
     if w.nodes[me].pending_fault == Some((b, FaultKind::Read)) {
@@ -355,6 +382,7 @@ pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: 
         Access::ReadWrite => {
             w.access.set(me, b, Access::Invalid);
             w.stats[me].invalidations += 1;
+            w.obs.record(me, at, EventKind::Invalidate { block: b });
             let bs = w.block_size() as u64;
             let c = w.cfg.cost.copy_cost(bs);
             w.occupy(s, me, c);
@@ -365,18 +393,39 @@ pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: 
                 at + c,
                 0,
                 bs,
-                ProtoMsg::ScWriteBack { from: me, block: b, invalidated: true },
+                ProtoMsg::ScWriteBack {
+                    from: me,
+                    block: b,
+                    invalidated: true,
+                },
             );
         }
         Access::Read => {
             w.access.set(me, b, Access::Invalid);
             w.stats[me].invalidations += 1;
-            w.send(s, me, home, at, 0, 0, ProtoMsg::ScInvalAck { from: me, block: b });
+            w.obs.record(me, at, EventKind::Invalidate { block: b });
+            w.send(
+                s,
+                me,
+                home,
+                at,
+                0,
+                0,
+                ProtoMsg::ScInvalAck { from: me, block: b },
+            );
         }
         Access::Invalid => {
             // Copy already dropped (e.g. replaced during our own fault);
             // the home still needs the ack.
-            w.send(s, me, home, at, 0, 0, ProtoMsg::ScInvalAck { from: me, block: b });
+            w.send(
+                s,
+                me,
+                home,
+                at,
+                0,
+                0,
+                ProtoMsg::ScInvalAck { from: me, block: b },
+            );
         }
     }
 }
@@ -458,7 +507,6 @@ pub fn handle_grant(
     } else {
         panic!("grant for node {me} block {b} with no pending fault");
     }
-    crate::ptrace!(s.now(), me, b, "grant excl={exclusive} with_data={with_data} poisoned={}", w.nodes[me].fault_poisoned);
     w.homes.learn(me, b, home);
     let at = s.now() + w.cfg.cost.handler_ns;
     if !exclusive && w.nodes[me].fault_poisoned {
@@ -471,8 +519,19 @@ pub fn handle_grant(
             "read fault on block {b} livelocked under invalidation pressure"
         );
         w.stats[me].read_faults += 1;
-        let target = w.homes.cached(me, b).unwrap_or_else(|| w.homes.directory_node(b));
-        w.send(s, me, target, at, 0, 0, ProtoMsg::ScReadReq { from: me, block: b });
+        let target = w
+            .homes
+            .cached(me, b)
+            .unwrap_or_else(|| w.homes.directory_node(b));
+        w.send(
+            s,
+            me,
+            target,
+            at,
+            0,
+            0,
+            ProtoMsg::ScReadReq { from: me, block: b },
+        );
         return;
     }
     if with_data {
@@ -481,14 +540,26 @@ pub fn handle_grant(
     w.access.set(
         me,
         b,
-        if exclusive { Access::ReadWrite } else { Access::Read },
+        if exclusive {
+            Access::ReadWrite
+        } else {
+            Access::Read
+        },
     );
     w.nodes[me].pending_fault = None;
     if exclusive {
         if me == home {
             complete_transaction(w, s, home, b, at);
         } else {
-            w.send(s, me, home, at, 0, 0, ProtoMsg::ScGrantAck { from: me, block: b });
+            w.send(
+                s,
+                me,
+                home,
+                at,
+                0,
+                0,
+                ProtoMsg::ScGrantAck { from: me, block: b },
+            );
         }
     }
     w.block_obtained(s, me);
@@ -581,9 +652,14 @@ mod tests {
         assert_eq!(e.sharers, bit(3));
         // A NowHome message is in flight to node 3.
         let evs = s.take_events();
-        assert!(evs
-            .iter()
-            .any(|(_, to, m)| *to == 3 && matches!(m, Some(Envelope { msg: ProtoMsg::ScNowHome { .. }, .. }))));
+        assert!(evs.iter().any(|(_, to, m)| *to == 3
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::ScNowHome { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -602,7 +678,15 @@ mod tests {
         let evs = s.take_events();
         let inval_targets: Vec<_> = evs
             .iter()
-            .filter(|(_, _, m)| matches!(m, Some(Envelope { msg: ProtoMsg::ScInval { .. }, .. })))
+            .filter(|(_, _, m)| {
+                matches!(
+                    m,
+                    Some(Envelope {
+                        msg: ProtoMsg::ScInval { .. },
+                        ..
+                    })
+                )
+            })
             .map(|(_, to, _)| *to)
             .collect();
         assert_eq!(inval_targets, vec![2, 3]);
@@ -613,13 +697,19 @@ mod tests {
     fn requests_queue_behind_a_busy_entry() {
         let (mut w, mut s) = setup();
         w.homes.assign(0, 0);
-        w.sc.entry(0).pending =
-            Some(Pending { requester: 2, kind: FaultKind::Read, acks_left: 1 });
+        w.sc.entry(0).pending = Some(Pending {
+            requester: 2,
+            kind: FaultKind::Read,
+            acks_left: 1,
+        });
         handle_request(&mut w, &mut s, 0, 3, 0, FaultKind::Write);
         let e = w.sc.dir(0).unwrap();
         assert_eq!(e.waiters.len(), 1);
         assert_eq!(e.waiters[0], (3, FaultKind::Write));
-        assert!(s.take_events().is_empty(), "queued requests send nothing yet");
+        assert!(
+            s.take_events().is_empty(),
+            "queued requests send nothing yet"
+        );
     }
 
     #[test]
@@ -628,15 +718,27 @@ mod tests {
         w.homes.assign(0, 0);
         w.access.set(2, 0, Access::ReadWrite);
         w.sc.entry(0).owner = Some(2);
-        w.sc.entry(0).pending =
-            Some(Pending { requester: 3, kind: FaultKind::Write, acks_left: 1 });
+        w.sc.entry(0).pending = Some(Pending {
+            requester: 3,
+            kind: FaultKind::Write,
+            acks_left: 1,
+        });
         w.data.node_mut(2)[0] = 99;
         handle_inval(&mut w, &mut s, 2, 0);
         assert_eq!(w.access.get(2, 0), Access::Invalid);
         assert_eq!(w.stats[2].invalidations, 1);
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 0
-            && matches!(m, Some(Envelope { msg: ProtoMsg::ScWriteBack { invalidated: true, .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::ScWriteBack {
+                        invalidated: true,
+                        ..
+                    },
+                    ..
+                })
+            )));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dsm_mem::{Access, BlockId};
+use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::msg::{Envelope, FaultKind, Notice, ProtoMsg};
@@ -70,7 +71,9 @@ impl SwState {
 
     /// The node holding the authoritative copy (owner, or in-flight target).
     pub fn authoritative(&self, b: BlockId) -> Option<NodeId> {
-        self.owner[b].or(self.in_transfer[b]).or(self.first_owner[b])
+        self.owner[b]
+            .or(self.in_transfer[b])
+            .or(self.first_owner[b])
     }
 
     /// True if `node` currently owns `b`.
@@ -120,11 +123,10 @@ pub fn start_fault(
         FaultKind::Write => w.stats[me].write_faults += 1,
     }
     let depart = s.now() + w.cfg.cost.fault_exception_ns + w.cfg.cost.handler_ns;
-    let target = w
-        .sw
-        .hint_of(me, b)
-        .filter(|&h| h != me)
-        .unwrap_or_else(|| w.homes.directory_node(b));
+    let target =
+        w.sw.hint_of(me, b)
+            .filter(|&h| h != me)
+            .unwrap_or_else(|| w.homes.directory_node(b));
     w.send(
         s,
         me,
@@ -132,7 +134,12 @@ pub fn start_fault(
         depart,
         0,
         0,
-        ProtoMsg::SwReq { from: me, block: b, kind, hops: 0 },
+        ProtoMsg::SwReq {
+            from: me,
+            block: b,
+            kind,
+            hops: 0,
+        },
     );
 }
 
@@ -164,7 +171,10 @@ pub fn handle_request(
         return;
     }
     if w.sw.in_transfer[b] == Some(me) {
-        w.sw.waiting.entry((me, b)).or_default().push((from, kind, hops));
+        w.sw.waiting
+            .entry((me, b))
+            .or_default()
+            .push((from, kind, hops));
         return;
     }
     let directory = w.homes.directory_node(b);
@@ -176,7 +186,15 @@ pub fn handle_request(
                 w.sw.first_owner[b] = Some(from);
                 w.sw.in_transfer[b] = Some(from);
                 w.homes.claim_for(b, from);
-                w.send(s, me, from, now + handler, 0, 0, ProtoMsg::SwNowOwner { block: b });
+                w.send(
+                    s,
+                    me,
+                    from,
+                    now + handler,
+                    0,
+                    0,
+                    ProtoMsg::SwNowOwner { block: b },
+                );
             }
             FaultKind::Read => {
                 // Unowned read: the directory serves its (golden) copy at
@@ -192,19 +210,23 @@ pub fn handle_request(
                     now + handler + c,
                     4,
                     bs,
-                    ProtoMsg::SwReply { block: b, version: 0, ownership: false, owner: me },
+                    ProtoMsg::SwReply {
+                        block: b,
+                        version: 0,
+                        ownership: false,
+                        owner: me,
+                    },
                 );
             }
         }
         return;
     }
     // Forward along the chain: our hint, the first owner, or the directory.
-    let target = w
-        .sw
-        .hint_of(me, b)
-        .filter(|&h| h != me)
-        .or(w.sw.first_owner[b].filter(|&h| h != me))
-        .unwrap_or(directory);
+    let target =
+        w.sw.hint_of(me, b)
+            .filter(|&h| h != me)
+            .or(w.sw.first_owner[b].filter(|&h| h != me))
+            .unwrap_or(directory);
     debug_assert_ne!(target, me, "forwarding to self");
     w.send(
         s,
@@ -213,7 +235,12 @@ pub fn handle_request(
         now + handler,
         0,
         0,
-        ProtoMsg::SwReq { from, block: b, kind, hops: hops + 1 },
+        ProtoMsg::SwReq {
+            from,
+            block: b,
+            kind,
+            hops: hops + 1,
+        },
     );
 }
 
@@ -241,7 +268,12 @@ fn serve(
                 at + c,
                 4,
                 bs,
-                ProtoMsg::SwReply { block: b, version: v, ownership: false, owner: me },
+                ProtoMsg::SwReply {
+                    block: b,
+                    version: v,
+                    ownership: false,
+                    owner: me,
+                },
             );
         }
         FaultKind::Write => {
@@ -256,7 +288,11 @@ fn serve(
             // still need a notice at our next release.
             if let Some(pos) = w.nodes[me].dirty.iter().position(|&d| d == b) {
                 w.nodes[me].dirty.swap_remove(pos);
-                w.sw.pending_notices[me].push(Notice { block: b, writer: from, version: v });
+                w.sw.pending_notices[me].push(Notice {
+                    block: b,
+                    writer: from,
+                    version: v,
+                });
             }
             if w.access.get(me, b) == Access::ReadWrite {
                 w.access.set(me, b, Access::Read);
@@ -268,7 +304,12 @@ fn serve(
                 at + c,
                 4,
                 bs,
-                ProtoMsg::SwReply { block: b, version: v, ownership: true, owner: me },
+                ProtoMsg::SwReply {
+                    block: b,
+                    version: v,
+                    ownership: true,
+                    owner: me,
+                },
             );
         }
     }
@@ -327,7 +368,20 @@ fn drain_waiting(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: Blo
             // ownership must get to retry its own access before a queued
             // rival steals the block away, or a contended block livelocks.
             let when = at + handler * (i as Time + 1);
-            w.send(s, me, me, when, 0, 0, ProtoMsg::SwReq { from, block: b, kind, hops });
+            w.send(
+                s,
+                me,
+                me,
+                when,
+                0,
+                0,
+                ProtoMsg::SwReq {
+                    from,
+                    block: b,
+                    kind,
+                    hops,
+                },
+            );
         }
     }
 }
@@ -360,7 +414,11 @@ pub fn release_dirty(w: &mut ProtoWorld, me: NodeId) -> Vec<Notice> {
         if w.access.get(me, b) == Access::ReadWrite {
             w.access.set(me, b, Access::Read);
         }
-        notices.push(Notice { block: b, writer: me, version: v });
+        notices.push(Notice {
+            block: b,
+            writer: me,
+            version: v,
+        });
     }
     w.stats[me].write_notices_sent += notices.len() as u64;
     notices
@@ -369,7 +427,7 @@ pub fn release_dirty(w: &mut ProtoWorld, me: NodeId) -> Vec<Notice> {
 /// Acquire-time notice application: invalidate stale read-only copies and
 /// refresh owner hints. Returns extra processing time (none beyond the
 /// fixed per-notice cost).
-pub fn apply_notice(w: &mut ProtoWorld, me: NodeId, n: &Notice) -> Time {
+pub fn apply_notice(w: &mut ProtoWorld, me: NodeId, n: &Notice, now: Time) -> Time {
     w.sw.set_hint(me, n.block, n.writer, n.version);
     if w.sw.is_owner(me, n.block) {
         debug_assert!(
@@ -378,11 +436,11 @@ pub fn apply_notice(w: &mut ProtoWorld, me: NodeId, n: &Notice) -> Time {
         );
         return 0;
     }
-    if w.sw.copy_version(me, n.block) < n.version
-        && w.access.get(me, n.block) != Access::Invalid
-    {
+    if w.sw.copy_version(me, n.block) < n.version && w.access.get(me, n.block) != Access::Invalid {
         w.access.set(me, n.block, Access::Invalid);
         w.stats[me].invalidations += 1;
+        w.obs
+            .record(me, now, EventKind::Invalidate { block: n.block });
     }
     0
 }
@@ -397,8 +455,11 @@ mod tests {
     use dsm_sim::engine::SchedInner;
 
     fn setup() -> (ProtoWorld, SchedInner<Envelope>) {
-        let mut cfg =
-            ProtoConfig::new(Layout::new(4096, 256), crate::Protocol::SwLrc, Notify::Polling);
+        let mut cfg = ProtoConfig::new(
+            Layout::new(4096, 256),
+            crate::Protocol::SwLrc,
+            Notify::Polling,
+        );
         cfg.nodes = 4;
         let mut w = ProtoWorld::new(cfg);
         w.load_golden(&vec![0u8; 4096]);
@@ -414,7 +475,13 @@ mod tests {
         assert_eq!(w.sw.first_owner[1], Some(2));
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 2
-            && matches!(m, Some(Envelope { msg: ProtoMsg::SwNowOwner { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::SwNowOwner { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -424,7 +491,17 @@ mod tests {
         assert_eq!(w.sw.first_owner[1], None, "reads do not claim");
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 3
-            && matches!(m, Some(Envelope { msg: ProtoMsg::SwReply { version: 0, ownership: false, .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::SwReply {
+                        version: 0,
+                        ownership: false,
+                        ..
+                    },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -437,7 +514,11 @@ mod tests {
         assert_eq!(w.sw.version[0], 4);
         assert_eq!(w.sw.owner[0], None);
         assert_eq!(w.sw.in_transfer[0], Some(2));
-        assert_eq!(w.access.get(1, 0), Access::Read, "old owner keeps a read copy");
+        assert_eq!(
+            w.access.get(1, 0),
+            Access::Read,
+            "old owner keeps a read copy"
+        );
     }
 
     #[test]
@@ -455,11 +536,29 @@ mod tests {
         w.access.set(2, 0, Access::Read);
         w.sw.set_copy_version(2, 0, 5);
         // Older notice: skipped.
-        apply_notice(&mut w, 2, &Notice { block: 0, writer: 1, version: 4 });
+        apply_notice(
+            &mut w,
+            2,
+            &Notice {
+                block: 0,
+                writer: 1,
+                version: 4,
+            },
+            0,
+        );
         assert_eq!(w.access.get(2, 0), Access::Read);
         assert_eq!(w.stats[2].invalidations, 0);
         // Newer notice: invalidates and updates the owner hint.
-        apply_notice(&mut w, 2, &Notice { block: 0, writer: 3, version: 9 });
+        apply_notice(
+            &mut w,
+            2,
+            &Notice {
+                block: 0,
+                writer: 3,
+                version: 9,
+            },
+            0,
+        );
         assert_eq!(w.access.get(2, 0), Access::Invalid);
         assert_eq!(w.stats[2].invalidations, 1);
         assert_eq!(w.sw.hint_of(2, 0), Some(3));
@@ -474,7 +573,14 @@ mod tests {
         w.nodes[1].mark_dirty(0);
         let notices = release_dirty(&mut w, 1);
         assert_eq!(notices.len(), 1);
-        assert_eq!(notices[0], Notice { block: 0, writer: 1, version: 3 });
+        assert_eq!(
+            notices[0],
+            Notice {
+                block: 0,
+                writer: 1,
+                version: 3
+            }
+        );
         assert_eq!(w.access.get(1, 0), Access::Read);
         assert!(w.nodes[1].dirty.is_empty());
     }

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use dsm_net::{VT_ENTRY_BYTES, WRITE_NOTICE_BYTES};
+use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::lrc;
@@ -59,7 +60,19 @@ pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeI
     let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + w.cfg.cost.handler_ns;
-    w.send(s, me, mgr, depart, ctrl, 0, ProtoMsg::LockReq { from: me, lock: l, vt });
+    w.send(
+        s,
+        me,
+        mgr,
+        depart,
+        ctrl,
+        0,
+        ProtoMsg::LockReq {
+            from: me,
+            lock: l,
+            vt,
+        },
+    );
 }
 
 /// Node-side release entry point. Returns the local time to charge (release
@@ -75,7 +88,19 @@ pub fn lock_release_start(
     let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
-    w.send(s, me, mgr, depart, ctrl, 0, ProtoMsg::LockRel { from: me, lock: l, vt });
+    w.send(
+        s,
+        me,
+        mgr,
+        depart,
+        ctrl,
+        0,
+        ProtoMsg::LockRel {
+            from: me,
+            lock: l,
+            vt,
+        },
+    );
     elapsed
 }
 
@@ -93,7 +118,19 @@ pub fn barrier_arrive_start(
     let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
-    w.send(s, me, mgr, depart, ctrl, 0, ProtoMsg::BarArrive { from: me, barrier: bar, vt });
+    w.send(
+        s,
+        me,
+        mgr,
+        depart,
+        ctrl,
+        0,
+        ProtoMsg::BarArrive {
+            from: me,
+            barrier: bar,
+            vt,
+        },
+    );
     elapsed
 }
 
@@ -156,10 +193,32 @@ fn send_grant(
         (last, _) => (last.clone(), Vec::new()),
     };
     w.stats[me].write_notices_sent += notices.len() as u64;
-    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes())
-        + notices.len() as u64 * WRITE_NOTICE_BYTES;
+    if !notices.is_empty() {
+        w.obs.record(
+            me,
+            s.now(),
+            EventKind::WriteNotices {
+                count: notices.len() as u64,
+                acquire: false,
+            },
+        );
+    }
+    let ctrl =
+        vt.as_ref().map_or(0, |v| v.wire_bytes()) + notices.len() as u64 * WRITE_NOTICE_BYTES;
     let depart = s.now() + w.cfg.cost.sync_handler_ns;
-    w.send(s, me, to, depart, ctrl, 0, ProtoMsg::LockGrant { lock: l, vt, notices });
+    w.send(
+        s,
+        me,
+        to,
+        depart,
+        ctrl,
+        0,
+        ProtoMsg::LockGrant {
+            lock: l,
+            vt,
+            notices,
+        },
+    );
 }
 
 /// Lock grant at the acquirer: apply consistency information and resume.
@@ -212,6 +271,16 @@ pub fn handle_bar_arrive(
             _ => Vec::new(),
         };
         w.stats[me].write_notices_sent += notices.len() as u64;
+        if !notices.is_empty() {
+            w.obs.record(
+                me,
+                s.now(),
+                EventKind::WriteNotices {
+                    count: notices.len() as u64,
+                    acquire: false,
+                },
+            );
+        }
         let ctrl = merged.as_ref().map_or(0, |_| n as u64 * VT_ENTRY_BYTES)
             + notices.len() as u64 * WRITE_NOTICE_BYTES;
         let depart = s.now() + per_send * (i as Time + 1);
@@ -223,7 +292,11 @@ pub fn handle_bar_arrive(
             depart,
             ctrl,
             0,
-            ProtoMsg::BarRelease { barrier: bar, vt: merged.clone(), notices },
+            ProtoMsg::BarRelease {
+                barrier: bar,
+                vt: merged.clone(),
+                notices,
+            },
         );
     }
 }
@@ -263,7 +336,13 @@ mod tests {
         assert_eq!(w.locks[1].holder, 2);
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 2
-            && matches!(m, Some(Envelope { msg: ProtoMsg::LockGrant { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::LockGrant { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -279,7 +358,13 @@ mod tests {
         assert_eq!(w.locks[1].holder, 3);
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 3
-            && matches!(m, Some(Envelope { msg: ProtoMsg::LockGrant { .. }, .. }))));
+            && matches!(
+                m,
+                Some(Envelope {
+                    msg: ProtoMsg::LockGrant { .. },
+                    ..
+                })
+            )));
     }
 
     #[test]
@@ -287,7 +372,15 @@ mod tests {
         let (mut w, mut s) = setup(crate::Protocol::Hlrc);
         // Node 2 released the lock at interval vt=[0,0,1,0] having written
         // block 5 in its interval 1.
-        w.log.push_interval(2, 1, vec![Notice { block: 5, writer: 2, version: 1 }]);
+        w.log.push_interval(
+            2,
+            1,
+            vec![Notice {
+                block: 5,
+                writer: 2,
+                version: 1,
+            }],
+        );
         let mut rel_vt = VClock::new(4);
         rel_vt.tick(2);
         w.lock_mut(1).held = true;
@@ -299,9 +392,10 @@ mod tests {
         let grant = evs
             .iter()
             .find_map(|(_, to, m)| match m {
-                Some(Envelope { msg: ProtoMsg::LockGrant { notices, .. }, .. }) if *to == 3 => {
-                    Some(notices.clone())
-                }
+                Some(Envelope {
+                    msg: ProtoMsg::LockGrant { notices, .. },
+                    ..
+                }) if *to == 3 => Some(notices.clone()),
                 _ => None,
             })
             .expect("grant sent");
@@ -315,14 +409,23 @@ mod tests {
         let (mut w, mut s) = setup(crate::Protocol::Sc);
         for node in 0..3 {
             handle_bar_arrive(&mut w, &mut s, 0, node, 0, None);
-            assert!(s.take_events().is_empty(), "node {node} must not release early");
+            assert!(
+                s.take_events().is_empty(),
+                "node {node} must not release early"
+            );
         }
         handle_bar_arrive(&mut w, &mut s, 0, 3, 0, None);
         let evs = s.take_events();
         let released: Vec<_> = evs
             .iter()
             .filter(|(_, _, m)| {
-                matches!(m, Some(Envelope { msg: ProtoMsg::BarRelease { .. }, .. }))
+                matches!(
+                    m,
+                    Some(Envelope {
+                        msg: ProtoMsg::BarRelease { .. },
+                        ..
+                    })
+                )
             })
             .map(|(_, to, _)| *to)
             .collect();

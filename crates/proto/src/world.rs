@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use dsm_mem::{Access, AccessTable, BlockId, DataStore, HomeDirectory};
 use dsm_net::{Notify, MSG_HEADER_BYTES};
+use dsm_obs::{EventKind, Recorder};
 use dsm_sim::{NodeId, Sched, Time, World};
 use dsm_stats::Counters;
 
@@ -94,6 +95,8 @@ pub struct ProtoWorld {
     pub log: NoticeLog,
     /// Virtual time at which measurement began (see the warm-up phase).
     pub measure_start: Time,
+    /// Structured event recorder (one branch per event when disabled).
+    pub obs: Recorder,
 }
 
 impl ProtoWorld {
@@ -123,6 +126,7 @@ impl ProtoWorld {
             barriers: HashMap::new(),
             log: NoticeLog::new(n),
             measure_start: 0,
+            obs: Recorder::new(n, &cfg.obs),
             cfg,
         }
     }
@@ -177,6 +181,17 @@ impl ProtoWorld {
         st.msgs_sent += 1;
         st.ctrl_bytes += ctrl + MSG_HEADER_BYTES;
         st.data_bytes += data;
+        self.obs.record(
+            from,
+            depart,
+            EventKind::MsgSend {
+                to,
+                tag: msg.tag(),
+                block: msg.concerns_block(),
+                ctrl: ctrl + MSG_HEADER_BYTES,
+                data,
+            },
+        );
         let arrival = depart + self.cfg.latency.one_way(MSG_HEADER_BYTES + ctrl + data);
         s.post(to, arrival, Envelope::new(msg));
     }
@@ -188,6 +203,12 @@ impl ProtoWorld {
         self.stats[node].service_ns += cost;
         if let Some(r) = s.resume_at(node) {
             let now = s.now();
+            // The node is mid-compute-segment: the delay extends that
+            // segment by exactly `cost` (`r >= now` always holds, because a
+            // Ready node with an earlier resume time would already have been
+            // resumed before this delivery). Blocked/done nodes absorb the
+            // service inside their measured stall windows instead.
+            self.stats[node].occupancy_stolen_ns += cost;
             s.delay(node, r.max(now) + cost);
         }
     }
@@ -197,8 +218,7 @@ impl ProtoWorld {
     /// for the grace window.
     pub fn block_obtained(&mut self, s: &Sched<Envelope>, node: NodeId) {
         if self.cfg.notify == Notify::Interrupt {
-            self.nodes[node].intr_disabled_until =
-                s.now() + self.cfg.cost.intr_grace_ns;
+            self.nodes[node].intr_disabled_until = s.now() + self.cfg.cost.intr_grace_ns;
         }
     }
 
@@ -217,32 +237,65 @@ impl World for ProtoWorld {
     fn deliver(&mut self, s: &mut Sched<Envelope>, to: NodeId, env: Envelope) {
         // One-shot service-time deferral for asynchronous requests arriving
         // at a node that is busy computing.
-        if !env.deferred && env.msg.needs_service() && !s.is_blocked(to)
-            && s.resume_at(to).is_some() {
-                let svc = self.cfg.cost.async_service_time(
-                    s.now(),
-                    self.cfg.notify,
-                    self.nodes[to].intr_disabled_until,
-                );
-                if svc > s.now() {
-                    if self.cfg.notify == Notify::Interrupt {
-                        self.stats[to].interrupts_taken += 1;
-                    }
-                    s.post(to, svc, Envelope { msg: env.msg, deferred: true });
-                    return;
+        if !env.deferred
+            && env.msg.needs_service()
+            && !s.is_blocked(to)
+            && s.resume_at(to).is_some()
+        {
+            let svc = self.cfg.cost.async_service_time(
+                s.now(),
+                self.cfg.notify,
+                self.nodes[to].intr_disabled_until,
+            );
+            if svc > s.now() {
+                if self.cfg.notify == Notify::Interrupt {
+                    self.stats[to].interrupts_taken += 1;
+                    let now = s.now();
+                    self.obs.record(to, now, EventKind::Interrupt);
                 }
+                s.post(
+                    to,
+                    svc,
+                    Envelope {
+                        msg: env.msg,
+                        deferred: true,
+                    },
+                );
+                return;
             }
+        }
         // Delayed-consistency extension: coherence-destroying requests
         // (invalidations, fetch-backs) are additionally deferred by a fixed
         // window, batching the holder's accesses (Dubois et al.; the
         // paper's §7 future work). One-shot like the service deferral.
         if !env.deferred
             && self.cfg.cost.delayed_inval_ns > 0
-            && matches!(env.msg, ProtoMsg::ScInval { .. } | ProtoMsg::ScFetchBack { .. })
+            && matches!(
+                env.msg,
+                ProtoMsg::ScInval { .. } | ProtoMsg::ScFetchBack { .. }
+            )
         {
             let at = s.now() + self.cfg.cost.delayed_inval_ns;
-            s.post(to, at, Envelope { msg: env.msg, deferred: true });
+            s.post(
+                to,
+                at,
+                Envelope {
+                    msg: env.msg,
+                    deferred: true,
+                },
+            );
             return;
+        }
+        if self.obs.is_active() {
+            let now = s.now();
+            self.obs.record(
+                to,
+                now,
+                EventKind::MsgRecv {
+                    tag: env.msg.tag(),
+                    block: env.msg.concerns_block(),
+                },
+            );
         }
         let handler = self.cfg.cost.handler_ns;
         match env.msg {
@@ -263,13 +316,22 @@ impl World for ProtoWorld {
                 self.occupy(s, to, handler);
                 sc::handle_inval(self, s, to, block);
             }
-            ProtoMsg::ScWriteBack { from, block, invalidated } => {
+            ProtoMsg::ScWriteBack {
+                from,
+                block,
+                invalidated,
+            } => {
                 sc::handle_write_back(self, s, to, from, block, invalidated);
             }
             ProtoMsg::ScInvalAck { from, block } => {
                 sc::handle_inval_ack(self, s, to, from, block);
             }
-            ProtoMsg::ScGrant { block, exclusive, with_data, home } => {
+            ProtoMsg::ScGrant {
+                block,
+                exclusive,
+                with_data,
+                home,
+            } => {
                 sc::handle_grant(self, s, to, block, exclusive, with_data, home);
             }
             ProtoMsg::ScNowHome { block, kind } => {
@@ -279,25 +341,45 @@ impl World for ProtoWorld {
                 sc::handle_grant_ack(self, s, to, from, block);
             }
             // SW-LRC
-            ProtoMsg::SwReq { from, block, kind, hops } => {
+            ProtoMsg::SwReq {
+                from,
+                block,
+                kind,
+                hops,
+            } => {
                 self.occupy(s, to, handler);
                 swlrc::handle_request(self, s, to, from, block, kind, hops);
             }
-            ProtoMsg::SwReply { block, version, ownership, owner } => {
+            ProtoMsg::SwReply {
+                block,
+                version,
+                ownership,
+                owner,
+            } => {
                 swlrc::handle_reply(self, s, to, block, version, ownership, owner);
             }
             ProtoMsg::SwNowOwner { block } => {
                 swlrc::handle_now_owner(self, s, to, block);
             }
             // HLRC
-            ProtoMsg::HlFetchReq { from, block, kind, needs } => {
+            ProtoMsg::HlFetchReq {
+                from,
+                block,
+                kind,
+                needs,
+            } => {
                 self.occupy(s, to, handler);
                 hlrc::handle_fetch(self, s, to, from, block, kind, needs);
             }
             ProtoMsg::HlData { block, home } => {
                 hlrc::handle_data(self, s, to, block, home);
             }
-            ProtoMsg::HlDiff { from, block, diff, interval } => {
+            ProtoMsg::HlDiff {
+                from,
+                block,
+                diff,
+                interval,
+            } => {
                 hlrc::handle_diff(self, s, to, from, block, diff, interval);
             }
             ProtoMsg::HlNowHome { block } => {
@@ -319,10 +401,19 @@ impl World for ProtoWorld {
                 self.occupy(s, to, self.cfg.cost.sync_handler_ns);
                 sync::handle_bar_arrive(self, s, to, from, barrier, vt);
             }
-            ProtoMsg::BarRelease { barrier, vt, notices } => {
+            ProtoMsg::BarRelease {
+                barrier,
+                vt,
+                notices,
+            } => {
                 sync::handle_bar_release(self, s, to, barrier, vt, notices);
             }
         }
+    }
+
+    fn on_advance(&mut self, node: NodeId, from: Time, to_t: Time) {
+        self.obs
+            .record(node, to_t, EventKind::Advance { dur: to_t - from });
     }
 }
 
@@ -336,12 +427,15 @@ pub fn final_image(w: &ProtoWorld) -> Vec<u8> {
     let mut img = vec![0u8; layout.size()];
     for b in 0..layout.num_blocks() {
         let src = match w.cfg.protocol {
-            Protocol::Sc => w
-                .sc
-                .dir(b)
-                .and_then(|d| d.owner)
-                .unwrap_or_else(|| w.route_home(b)),
-            Protocol::SwLrc => w.sw.authoritative(b).unwrap_or_else(|| w.homes.directory_node(b)),
+            Protocol::Sc => {
+                w.sc.dir(b)
+                    .and_then(|d| d.owner)
+                    .unwrap_or_else(|| w.route_home(b))
+            }
+            Protocol::SwLrc => {
+                w.sw.authoritative(b)
+                    .unwrap_or_else(|| w.homes.directory_node(b))
+            }
             Protocol::Hlrc => w.route_home(b),
         };
         let r = layout.block_range(b);

@@ -1,49 +1,80 @@
-//! Property-based tests on the protocol primitives: diffs, vector clocks,
-//! and the latency model.
+//! Property-style tests on the protocol primitives: diffs, vector clocks,
+//! and the latency model. Each test draws many cases from a fixed-seed
+//! generator, preserving the properties previously checked with proptest.
 
 use dsm_proto::diff::Diff;
 use dsm_proto::vt::VClock;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn diff_apply_reconstructs_current(
-        twin in proptest::collection::vec(any::<u8>(), 1..512),
-        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..64),
-    ) {
+/// Minimal xorshift64* generator so this test crate needs no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+const CASES: usize = 64;
+
+#[test]
+fn diff_apply_reconstructs_current() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(511);
+        let twin = rng.bytes(len);
         let mut current = twin.clone();
-        for (at, v) in edits {
-            let i = at % current.len();
-            current[i] = v;
+        for _ in 0..rng.below(64) {
+            let i = rng.below(current.len());
+            current[i] = rng.next_u64() as u8;
         }
         let d = Diff::create(&twin, &current);
         let mut rebuilt = twin.clone();
         d.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, current);
+        assert_eq!(rebuilt, current);
     }
+}
 
-    #[test]
-    fn diff_size_bounded_by_changes(
-        twin in proptest::collection::vec(any::<u8>(), 1..256),
-        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..32),
-    ) {
+#[test]
+fn diff_size_bounded_by_changes() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(255);
+        let twin = rng.bytes(len);
         let mut current = twin.clone();
-        for (at, v) in &edits {
-            let i = at % current.len();
-            current[i] = *v;
+        for _ in 0..rng.below(32) {
+            let i = rng.below(current.len());
+            current[i] = rng.next_u64() as u8;
         }
         let changed = twin.iter().zip(&current).filter(|(a, b)| a != b).count() as u64;
         let d = Diff::create(&twin, &current);
-        prop_assert_eq!(d.data_bytes(), changed);
-        prop_assert!(d.wire_bytes() <= changed * 9); // worst case: isolated runs
-        prop_assert_eq!(d.is_empty(), changed == 0);
+        assert_eq!(d.data_bytes(), changed);
+        assert!(d.wire_bytes() <= changed * 9); // worst case: isolated runs
+        assert_eq!(d.is_empty(), changed == 0);
     }
+}
 
-    #[test]
-    fn disjoint_diffs_commute(
-        twin in proptest::collection::vec(any::<u8>(), 64..256),
-        split in 1usize..63,
-    ) {
+#[test]
+fn disjoint_diffs_commute() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for _ in 0..CASES {
+        let len = 64 + rng.below(192);
+        let twin = rng.bytes(len);
+        let split = 1 + rng.below(62);
         // Writer A changes the prefix, writer B the suffix.
         let mut a = twin.clone();
         let mut b = twin.clone();
@@ -62,73 +93,74 @@ proptest! {
         let mut ba = twin.clone();
         db.apply(&mut ba);
         da.apply(&mut ba);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    #[test]
-    fn vclock_merge_laws(
-        a in proptest::collection::vec(0u32..100, 4),
-        b in proptest::collection::vec(0u32..100, 4),
-    ) {
-        let mk = |v: &[u32]| {
-            let mut c = VClock::new(v.len());
-            for (i, &k) in v.iter().enumerate() {
-                for _ in 0..k {
-                    c.tick(i);
-                }
-            }
-            c
-        };
-        let (ca, cb) = (mk(&a), mk(&b));
+fn mk_clock(v: &[u32]) -> VClock {
+    let mut c = VClock::new(v.len());
+    for (i, &k) in v.iter().enumerate() {
+        for _ in 0..k {
+            c.tick(i);
+        }
+    }
+    c
+}
+
+#[test]
+fn vclock_merge_laws() {
+    let mut rng = Rng::new(0x5EED_0004);
+    for _ in 0..CASES {
+        let a: Vec<u32> = (0..4).map(|_| rng.below(100) as u32).collect();
+        let b: Vec<u32> = (0..4).map(|_| rng.below(100) as u32).collect();
+        let (ca, cb) = (mk_clock(&a), mk_clock(&b));
         // Commutative.
         let mut m1 = ca.clone();
         m1.merge(&cb);
         let mut m2 = cb.clone();
         m2.merge(&ca);
-        prop_assert_eq!(&m1, &m2);
+        assert_eq!(&m1, &m2);
         // Dominates both inputs.
-        prop_assert!(m1.dominates(&ca));
-        prop_assert!(m1.dominates(&cb));
+        assert!(m1.dominates(&ca));
+        assert!(m1.dominates(&cb));
         // Idempotent.
         let mut m3 = m1.clone();
         m3.merge(&m1);
-        prop_assert_eq!(&m3, &m1);
+        assert_eq!(&m3, &m1);
     }
+}
 
-    #[test]
-    fn missing_intervals_exactly_fill_the_gap(
-        have in proptest::collection::vec(0u32..20, 3),
-        extra in proptest::collection::vec(0u32..20, 3),
-    ) {
-        let mk = |v: &[u32]| {
-            let mut c = VClock::new(v.len());
-            for (i, &k) in v.iter().enumerate() {
-                for _ in 0..k {
-                    c.tick(i);
-                }
-            }
-            c
-        };
-        let h = mk(&have);
+#[test]
+fn missing_intervals_exactly_fill_the_gap() {
+    let mut rng = Rng::new(0x5EED_0005);
+    for _ in 0..CASES {
+        let have: Vec<u32> = (0..3).map(|_| rng.below(20) as u32).collect();
+        let extra: Vec<u32> = (0..3).map(|_| rng.below(20) as u32).collect();
+        let h = mk_clock(&have);
         let upto_vals: Vec<u32> = have.iter().zip(&extra).map(|(a, b)| a + b).collect();
-        let u = mk(&upto_vals);
+        let u = mk_clock(&upto_vals);
         let missing = VClock::missing_intervals(&h, &u);
         let total: u32 = extra.iter().sum();
-        prop_assert_eq!(missing.len() as u32, total);
+        assert_eq!(missing.len() as u32, total);
         for (j, k) in missing {
-            prop_assert!(k > h.get(j) && k <= u.get(j));
+            assert!(k > h.get(j) && k <= u.get(j));
         }
     }
+}
 
-    #[test]
-    fn latency_monotone_everywhere(sizes in proptest::collection::vec(1u64..100_000, 2..20)) {
-        let m = dsm_net::LatencyModel::default();
-        let mut sorted = sizes.clone();
-        sorted.sort_unstable();
+#[test]
+fn latency_monotone_everywhere() {
+    let mut rng = Rng::new(0x5EED_0006);
+    let m = dsm_net::LatencyModel::default();
+    for _ in 0..CASES {
+        let mut sizes: Vec<u64> = (0..2 + rng.below(18))
+            .map(|_| 1 + rng.below(99_999) as u64)
+            .collect();
+        sizes.sort_unstable();
         let mut prev = 0;
-        for s in sorted {
+        for s in sizes {
             let t = m.one_way(s);
-            prop_assert!(t >= prev);
+            assert!(t >= prev);
             prev = t;
         }
     }

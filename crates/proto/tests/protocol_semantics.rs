@@ -11,14 +11,10 @@ use dsm_proto::{ProtoConfig, ProtoWorld, Protocol};
 use dsm_sim::engine::{run_cluster, NodeCtx};
 
 type Body = Box<dyn FnOnce(&mut NodeCtx<ProtoWorld>) + Send>;
+type DsmBody = Box<dyn FnOnce(&mut dyn Dsm) + Send>;
 
 /// Run scripted bodies on a small cluster; returns the final world.
-fn run_script(
-    protocol: Protocol,
-    block: usize,
-    nodes: usize,
-    bodies: Vec<Box<dyn FnOnce(&mut dyn Dsm) + Send>>,
-) -> ProtoWorld {
+fn run_script(protocol: Protocol, block: usize, nodes: usize, bodies: Vec<DsmBody>) -> ProtoWorld {
     let mut cfg = ProtoConfig::new(Layout::new(64 * 1024, block), protocol, Notify::Polling);
     cfg.nodes = nodes;
     let mut world = ProtoWorld::new(cfg);
@@ -57,10 +53,13 @@ fn sc_reads_are_always_fresh() {
             }),
         ],
     );
-    let t = w.stats.iter().fold(dsm_stats::Counters::default(), |mut a, c| {
-        a.add(c);
-        a
-    });
+    let t = w
+        .stats
+        .iter()
+        .fold(dsm_stats::Counters::default(), |mut a, c| {
+            a.add(c);
+            a
+        });
     assert!(t.read_faults >= 1);
     assert_eq!(t.write_notices_sent, 0);
 }
@@ -139,7 +138,10 @@ fn sw_lrc_skips_invalidation_when_version_is_current() {
         ],
     );
     // The reader's copy was already current: no invalidation at its acquire.
-    assert_eq!(w.stats[1].invalidations, 0, "current copy must not be invalidated");
+    assert_eq!(
+        w.stats[1].invalidations, 0,
+        "current copy must not be invalidated"
+    );
 }
 
 #[test]
@@ -235,34 +237,33 @@ fn locks_grant_in_fifo_order() {
     // All 4 nodes contend for one lock and append their id to a log.
     // Determinism makes the grant order stable; FIFO queueing at the
     // manager means request-arrival order wins.
-    let w = run_script(
-        Protocol::Sc,
-        256,
-        4,
-        {
-            let mk = |me: usize| {
-                Box::new(move |d: &mut dyn Dsm| {
-                    // Stagger request times by node id, far apart enough
-                    // that network locality to the manager cannot reorder
-                    // arrivals.
-                    d.compute(1_000_000 * me as u64 + 1);
-                    d.lock(3);
-                    let n = d.read_u64(0);
-                    d.write_u64(8 + n as usize * 8, me as u64);
-                    d.write_u64(0, n + 1);
-                    d.unlock(3);
-                    d.barrier(0);
-                }) as Box<dyn FnOnce(&mut dyn Dsm) + Send>
-            };
-            (0..4).map(mk).collect()
-        },
-    );
+    let w = run_script(Protocol::Sc, 256, 4, {
+        let mk = |me: usize| {
+            Box::new(move |d: &mut dyn Dsm| {
+                // Stagger request times by node id, far apart enough
+                // that network locality to the manager cannot reorder
+                // arrivals.
+                d.compute(1_000_000 * me as u64 + 1);
+                d.lock(3);
+                let n = d.read_u64(0);
+                d.write_u64(8 + n as usize * 8, me as u64);
+                d.write_u64(0, n + 1);
+                d.unlock(3);
+                d.barrier(0);
+            }) as Box<dyn FnOnce(&mut dyn Dsm) + Send>
+        };
+        (0..4).map(mk).collect()
+    });
     // Whoever requested first (smallest stagger) appears first.
     let img = dsm_proto::final_image(&w);
     let order: Vec<u64> = (0..4)
         .map(|i| u64::from_le_bytes(img[8 + i * 8..16 + i * 8].try_into().unwrap()))
         .collect();
-    assert_eq!(order, vec![0, 1, 2, 3], "lock grants must be FIFO: {order:?}");
+    assert_eq!(
+        order,
+        vec![0, 1, 2, 3],
+        "lock grants must be FIFO: {order:?}"
+    );
 }
 
 #[test]
@@ -374,7 +375,10 @@ fn interrupt_grace_window_defers_invalidations() {
             }) as Body
         };
         let (w, _) = run_cluster(world, vec![mk(0), mk(1)]);
-        w.stats.iter().map(|c| c.read_faults + c.write_faults).sum::<u64>()
+        w.stats
+            .iter()
+            .map(|c| c.read_faults + c.write_faults)
+            .sum::<u64>()
     };
     let poll_faults = run(Notify::Polling);
     let intr_faults = run(Notify::Interrupt);

@@ -88,7 +88,8 @@ fn header_bytes_are_charged_per_message() {
     use dsm_core::{Dsm, DsmThread};
     use dsm_sim::engine::{run_cluster, NodeCtx};
     let w = world(Protocol::Sc, 2);
-    let bodies: Vec<Box<dyn FnOnce(&mut NodeCtx<ProtoWorld>) + Send>> = vec![
+    type Body = Box<dyn FnOnce(&mut NodeCtx<ProtoWorld>) + Send>;
+    let bodies: Vec<Body> = vec![
         Box::new(|ctx: &mut NodeCtx<ProtoWorld>| {
             let mut t = DsmThread::new(ctx, 0);
             t.write_u64(256, 1); // one remote-ish fault

@@ -20,6 +20,12 @@ pub trait World: Send + 'static {
 
     /// Handle a message arriving at node `to` at the current virtual time.
     fn deliver(&mut self, sched: &mut Sched<Self::Msg>, to: NodeId, msg: Self::Msg);
+
+    /// Observe a node advancing its local clock over `[from, to)` (compute
+    /// or local protocol work). Called from [`NodeCtx::advance`] before the
+    /// segment is scheduled; occupancy charged into the segment later via
+    /// [`Sched::delay`] is not included. Default: no-op.
+    fn on_advance(&mut self, _node: NodeId, _from: Time, _to: Time) {}
 }
 
 /// Scheduling status of a node thread.
@@ -289,12 +295,23 @@ impl<W: World> NodeCtx<W> {
     pub fn advance(&mut self, dt: Time) {
         let mut g = self.lock();
         let at = g.sched.now + dt;
+        if dt > 0 {
+            let from = g.sched.now;
+            let world = g.world.as_mut().expect("world re-entrancy");
+            world.on_advance(self.node, from, at);
+        }
         let slot = &mut g.sched.nodes[self.node];
         debug_assert_eq!(slot.status, Status::Running);
         slot.status = Status::Ready { at };
         slot.gen += 1;
         let gen = slot.gen;
-        g.sched.push(at, EventKind::Resume { node: self.node, gen });
+        g.sched.push(
+            at,
+            EventKind::Resume {
+                node: self.node,
+                gen,
+            },
+        );
         self.drive(g);
     }
 
@@ -310,7 +327,13 @@ impl<W: World> NodeCtx<W> {
             slot.status = Status::Ready { at };
             slot.gen += 1;
             let gen = slot.gen;
-            g.sched.push(at, EventKind::Resume { node: self.node, gen });
+            g.sched.push(
+                at,
+                EventKind::Resume {
+                    node: self.node,
+                    gen,
+                },
+            );
         } else {
             slot.status = Status::Blocked;
         }
@@ -342,16 +365,13 @@ impl<W: World> NodeCtx<W> {
                 None => {
                     // Nothing left to do. If this node is blocked with no
                     // pending events, the program deadlocked.
-                    let statuses: Vec<_> =
-                        g.sched.nodes.iter().map(|s| s.status).collect();
+                    let statuses: Vec<_> = g.sched.nodes.iter().map(|s| s.status).collect();
                     g.poisoned = true;
                     for cv in &self.shared.node_cvs {
                         cv.notify_all();
                     }
                     self.shared.done_cv.notify_all();
-                    panic!(
-                        "simulation deadlock: event queue empty, node states {statuses:?}"
-                    );
+                    panic!("simulation deadlock: event queue empty, node states {statuses:?}");
                 }
             };
             debug_assert!(ev.at >= g.sched.now);
@@ -379,9 +399,7 @@ impl<W: World> NodeCtx<W> {
                     // future driver resumes us.
                     self.shared.node_cvs[node].notify_one();
                     loop {
-                        g = self
-                            .shared
-                            .node_cvs[self.node]
+                        g = self.shared.node_cvs[self.node]
                             .wait(g)
                             .unwrap_or_else(|_| panic!("simulation poisoned"));
                         if g.poisoned {
@@ -510,9 +528,8 @@ pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
                                 .unwrap_or_else(|_| panic!("simulation poisoned"));
                         }
                     }
-                    let result = std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| body(&mut ctx)),
-                    );
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
                     match result {
                         Ok(()) => ctx.finish(),
                         Err(e) => {
@@ -617,7 +634,10 @@ mod tests {
 
     #[test]
     fn advances_virtual_time_per_node() {
-        let world = TestWorld { log: vec![], wake_on: vec![None, None] };
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None, None],
+        };
         let (_, t) = run_cluster(
             world,
             vec![
@@ -638,7 +658,10 @@ mod tests {
 
     #[test]
     fn messages_deliver_at_posted_time() {
-        let world = TestWorld { log: vec![], wake_on: vec![None, Some(7)] };
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None, Some(7)],
+        };
         let (w, _) = run_cluster(
             world,
             vec![
@@ -688,8 +711,12 @@ mod tests {
     #[test]
     fn deterministic_event_order_across_runs() {
         fn run_once() -> Vec<(Time, NodeId, u32)> {
-            let world = TestWorld { log: vec![], wake_on: vec![None; 4] };
-            let bodies: Vec<Box<dyn FnOnce(&mut NodeCtx<TestWorld>) + Send>> = (0..4)
+            let world = TestWorld {
+                log: vec![],
+                wake_on: vec![None; 4],
+            };
+            type TestBody = Box<dyn FnOnce(&mut NodeCtx<TestWorld>) + Send>;
+            let bodies: Vec<TestBody> = (0..4)
                 .map(|i| {
                     Box::new(move |ctx: &mut NodeCtx<TestWorld>| {
                         for k in 0..10u32 {
@@ -700,7 +727,7 @@ mod tests {
                             });
                             ctx.advance(13 + i as u64);
                         }
-                    }) as Box<dyn FnOnce(&mut NodeCtx<TestWorld>) + Send>
+                    }) as TestBody
                 })
                 .collect();
             run_cluster(world, bodies).0.log
@@ -714,7 +741,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn blocked_forever_panics() {
-        let world = TestWorld { log: vec![], wake_on: vec![None] };
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None],
+        };
         run_cluster(
             world,
             vec![Box::new(|ctx: &mut NodeCtx<TestWorld>| {
@@ -819,7 +849,10 @@ mod tests {
 
     #[test]
     fn ties_break_by_post_order() {
-        let world = TestWorld { log: vec![], wake_on: vec![None, None] };
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None, None],
+        };
         let (w, _) = run_cluster(
             world,
             vec![

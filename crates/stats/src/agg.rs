@@ -174,6 +174,57 @@ mod tests {
     }
 
     #[test]
+    fn zero_time_cells_zero_the_aggregate() {
+        // A failed run records speedup 0 (zero-time cell). Its RE is 0,
+        // which zeroes any harmonic mean that includes it — one failure at
+        // a combination sinks that whole (protocol, granularity) column.
+        let mut m = EfficiencyMatrix::new();
+        m.record("lu", "sc", 64, 8.0);
+        m.record("fft", "sc", 64, 0.0);
+        assert_eq!(m.re("fft", "sc", 64), Some(0.0));
+        assert_eq!(m.hm_fixed("sc", 64), 0.0);
+        // An application whose every cell is zero has RE 0 (not NaN).
+        let mut z = EfficiencyMatrix::new();
+        z.record("dead", "sc", 64, 0.0);
+        assert_eq!(z.max_speedup("dead"), 0.0);
+        assert_eq!(z.re("dead", "sc", 64), Some(0.0));
+    }
+
+    #[test]
+    fn missing_combination_zeroes_hm_fixed() {
+        // "fft" never ran at hlrc@4096: the paper counts that as a failure
+        // at the combination, so the fixed-cell HM is 0 while columns where
+        // every app has a cell are unaffected.
+        let mut m = EfficiencyMatrix::new();
+        m.record("lu", "sc", 64, 4.0);
+        m.record("lu", "hlrc", 4096, 8.0);
+        m.record("fft", "sc", 64, 6.0);
+        assert_eq!(m.hm_fixed("hlrc", 4096), 0.0);
+        assert!(m.hm_fixed("sc", 64) > 0.0);
+    }
+
+    #[test]
+    fn single_app_means_equal_its_re() {
+        // With one application every aggregate collapses to that app's RE.
+        let mut m = EfficiencyMatrix::new();
+        m.record("lu", "sc", 64, 5.0);
+        m.record("lu", "sc", 4096, 10.0);
+        m.record("lu", "hlrc", 4096, 4.0);
+        assert!((m.hm_fixed("sc", 64) - 0.5).abs() < 1e-12);
+        assert!((m.hm_fixed("sc", 4096) - 1.0).abs() < 1e-12);
+        assert!((m.hm_best_granularity("hlrc", &[64, 4096]) - 0.4).abs() < 1e-12);
+        assert!((m.hm_best_protocol(4096, &["sc", "hlrc"]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn re_of_unrecorded_cell_is_none() {
+        let mut m = EfficiencyMatrix::new();
+        m.record("lu", "sc", 64, 5.0);
+        assert_eq!(m.re("lu", "hlrc", 64), None);
+        assert_eq!(m.re("fft", "sc", 64), None);
+    }
+
+    #[test]
     fn best_protocol_and_granularity_selection() {
         let mut m = EfficiencyMatrix::new();
         for (app, sc64, hlrc4096) in [("a", 10.0, 6.0), ("b", 3.0, 9.0)] {

@@ -1,101 +1,128 @@
 //! Event counters collected during a simulated run.
 
-use serde::{Deserialize, Serialize};
+use dsm_json::Value;
 
-/// Per-node protocol event counters.
-///
-/// All counters are cumulative over one run. "Remote" faults are faults that
-/// required communication; "local" faults are access-control transitions that
-/// were resolved without messages (e.g. HLRC twinning an already-present
-/// block, or SW-LRC re-enabling write access after a release downgrade).
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Counters {
+/// Expands to the `Counters` struct plus its field-generic helpers, so the
+/// field list exists in exactly one place: adding a counter here updates
+/// `add`, JSON encode/decode, and `FIELD_NAMES` together. Merge modes:
+/// `sum` for cumulative counters, `max` for high-water marks.
+macro_rules! define_counters {
+    ( $( $(#[$attr:meta])* $field:ident : $merge:tt ),+ $(,)? ) => {
+        /// Per-node protocol event counters.
+        ///
+        /// All counters are cumulative over one run. "Remote" faults are
+        /// faults that required communication; "local" faults are
+        /// access-control transitions that were resolved without messages
+        /// (e.g. HLRC twinning an already-present block, or SW-LRC
+        /// re-enabling write access after a release downgrade).
+        #[derive(Debug, Default, Clone, PartialEq, Eq)]
+        pub struct Counters {
+            $( $(#[$attr])* pub $field: u64, )+
+        }
+
+        impl Counters {
+            /// Every counter field name, in declaration order.
+            pub const FIELD_NAMES: &'static [&'static str] =
+                &[ $( stringify!($field) ),+ ];
+
+            /// Field-wise merge (sums, except high-water marks which take
+            /// the max), for aggregating per-node counters into run totals.
+            pub fn add(&mut self, o: &Counters) {
+                $( merge_field!(self.$field, o.$field, $merge); )+
+            }
+
+            /// Encode as a JSON object with one key per field.
+            pub fn to_json(&self) -> Value {
+                let mut v = Value::obj();
+                $( v.set(stringify!($field), self.$field); )+
+                v
+            }
+
+            /// Decode from a JSON object; missing fields default to zero.
+            pub fn from_json(v: &Value) -> Counters {
+                Counters {
+                    $( $field: v.u64_field(stringify!($field)).unwrap_or(0), )+
+                }
+            }
+        }
+    };
+}
+
+macro_rules! merge_field {
+    ($a:expr, $b:expr, sum) => {
+        $a += $b
+    };
+    ($a:expr, $b:expr, max) => {
+        $a = $a.max($b)
+    };
+}
+
+define_counters! {
     /// Read access faults (block not readable locally), remote.
-    pub read_faults: u64,
+    read_faults: sum,
     /// Write access faults that required communication.
-    pub write_faults: u64,
+    write_faults: sum,
     /// Write faults resolved locally (twin creation / re-enable).
-    pub local_write_faults: u64,
+    local_write_faults: sum,
     /// Messages sent from this node.
-    pub msgs_sent: u64,
+    msgs_sent: sum,
     /// Control bytes sent (headers, requests, acks, write notices).
-    pub ctrl_bytes: u64,
+    ctrl_bytes: sum,
     /// Data payload bytes sent (block fetches, write-backs, diffs).
-    pub data_bytes: u64,
+    data_bytes: sum,
     /// Block fetches served *to* other nodes by this node.
-    pub fetches_served: u64,
+    fetches_served: sum,
     /// Twins created (HLRC).
-    pub twins_created: u64,
+    twins_created: sum,
     /// Diffs created at releases (HLRC).
-    pub diffs_created: u64,
+    diffs_created: sum,
     /// Total bytes of diff payload produced (HLRC).
-    pub diff_bytes: u64,
+    diff_bytes: sum,
     /// Diffs applied at this node's homes (HLRC).
-    pub diffs_applied: u64,
+    diffs_applied: sum,
     /// Write notices sent (piggybacked counts included).
-    pub write_notices_sent: u64,
+    write_notices_sent: sum,
     /// Write notices received and processed at acquires.
-    pub write_notices_recv: u64,
+    write_notices_recv: sum,
     /// Blocks invalidated at this node (eager for SC, acquire-time for LRC).
-    pub invalidations: u64,
+    invalidations: sum,
     /// Lock acquires performed by this node.
-    pub lock_acquires: u64,
+    lock_acquires: sum,
     /// Lock acquires that needed remote communication.
-    pub remote_lock_acquires: u64,
+    remote_lock_acquires: sum,
     /// Barrier episodes this node participated in.
-    pub barriers: u64,
+    barriers: sum,
     /// Virtual ns spent waiting on lock acquisition.
-    pub lock_wait_ns: u64,
-    /// Virtual ns spent waiting at barriers.
-    pub barrier_wait_ns: u64,
+    lock_wait_ns: sum,
+    /// Virtual ns spent waiting at barriers (arrival to release, excluding
+    /// the local release actions charged to `proto_local_ns`).
+    barrier_wait_ns: sum,
     /// Virtual ns spent stalled in read faults.
-    pub read_stall_ns: u64,
+    read_stall_ns: sum,
     /// Virtual ns spent stalled in write faults.
-    pub write_stall_ns: u64,
+    write_stall_ns: sum,
     /// Virtual ns of pure application computation charged.
-    pub compute_ns: u64,
+    compute_ns: sum,
     /// Extra virtual ns charged for polling instrumentation.
-    pub poll_overhead_ns: u64,
+    poll_overhead_ns: sum,
+    /// Virtual ns of local protocol actions run on the application thread:
+    /// locally-resolved faults, release-time diffing/notice generation at
+    /// lock releases and barrier arrivals.
+    proto_local_ns: sum,
+    /// Virtual ns by which remote-request service occupancy extended this
+    /// node's own compute segments (time "stolen" from the application by
+    /// the protocol handler while the node was otherwise runnable).
+    occupancy_stolen_ns: sum,
     /// Asynchronous messages serviced via interrupt (signal cost paid).
-    pub interrupts_taken: u64,
+    interrupts_taken: sum,
     /// Virtual ns this node spent servicing remote requests (occupancy).
-    pub service_ns: u64,
+    service_ns: sum,
     /// Peak bytes held in twins at this node (HLRC memory overhead; the
     /// paper lists memory utilization as unexamined future work).
-    pub twin_bytes_peak: u64,
+    twin_bytes_peak: max,
 }
 
 impl Counters {
-    /// Field-wise sum, for aggregating per-node counters into run totals.
-    pub fn add(&mut self, o: &Counters) {
-        self.read_faults += o.read_faults;
-        self.write_faults += o.write_faults;
-        self.local_write_faults += o.local_write_faults;
-        self.msgs_sent += o.msgs_sent;
-        self.ctrl_bytes += o.ctrl_bytes;
-        self.data_bytes += o.data_bytes;
-        self.fetches_served += o.fetches_served;
-        self.twins_created += o.twins_created;
-        self.diffs_created += o.diffs_created;
-        self.diff_bytes += o.diff_bytes;
-        self.diffs_applied += o.diffs_applied;
-        self.write_notices_sent += o.write_notices_sent;
-        self.write_notices_recv += o.write_notices_recv;
-        self.invalidations += o.invalidations;
-        self.lock_acquires += o.lock_acquires;
-        self.remote_lock_acquires += o.remote_lock_acquires;
-        self.barriers += o.barriers;
-        self.lock_wait_ns += o.lock_wait_ns;
-        self.barrier_wait_ns += o.barrier_wait_ns;
-        self.read_stall_ns += o.read_stall_ns;
-        self.write_stall_ns += o.write_stall_ns;
-        self.compute_ns += o.compute_ns;
-        self.poll_overhead_ns += o.poll_overhead_ns;
-        self.interrupts_taken += o.interrupts_taken;
-        self.service_ns += o.service_ns;
-        self.twin_bytes_peak = self.twin_bytes_peak.max(o.twin_bytes_peak);
-    }
-
     /// Total bytes moved on the network (control + data).
     pub fn total_traffic(&self) -> u64 {
         self.ctrl_bytes + self.data_bytes
@@ -103,7 +130,7 @@ impl Counters {
 }
 
 /// Statistics for one complete run: per-node counters plus timing results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// One entry per node.
     pub per_node: Vec<Counters>,
@@ -130,6 +157,33 @@ impl RunStats {
         }
         self.sequential_time_ns as f64 / self.parallel_time_ns as f64
     }
+
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::obj();
+        v.set(
+            "per_node",
+            Value::Arr(self.per_node.iter().map(Counters::to_json).collect()),
+        );
+        v.set("parallel_time_ns", self.parallel_time_ns);
+        v.set("sequential_time_ns", self.sequential_time_ns);
+        v
+    }
+
+    /// Decode from a JSON object; `None` if the shape is wrong.
+    pub fn from_json(v: &Value) -> Option<RunStats> {
+        let per_node = v
+            .get("per_node")?
+            .as_arr()?
+            .iter()
+            .map(Counters::from_json)
+            .collect();
+        Some(RunStats {
+            per_node,
+            parallel_time_ns: v.u64_field("parallel_time_ns")?,
+            sequential_time_ns: v.u64_field("sequential_time_ns")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -138,13 +192,39 @@ mod tests {
 
     #[test]
     fn add_is_fieldwise() {
-        let mut a = Counters { read_faults: 1, data_bytes: 10, ..Default::default() };
-        let b = Counters { read_faults: 2, ctrl_bytes: 5, ..Default::default() };
+        let mut a = Counters {
+            read_faults: 1,
+            data_bytes: 10,
+            ..Default::default()
+        };
+        let b = Counters {
+            read_faults: 2,
+            ctrl_bytes: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.read_faults, 3);
         assert_eq!(a.data_bytes, 10);
         assert_eq!(a.ctrl_bytes, 5);
         assert_eq!(a.total_traffic(), 15);
+    }
+
+    #[test]
+    fn add_takes_max_of_high_water_marks() {
+        let mut a = Counters {
+            twin_bytes_peak: 100,
+            ..Default::default()
+        };
+        a.add(&Counters {
+            twin_bytes_peak: 70,
+            ..Default::default()
+        });
+        assert_eq!(a.twin_bytes_peak, 100);
+        a.add(&Counters {
+            twin_bytes_peak: 130,
+            ..Default::default()
+        });
+        assert_eq!(a.twin_bytes_peak, 130);
     }
 
     #[test]
@@ -161,11 +241,97 @@ mod tests {
     fn totals_sum_all_nodes() {
         let s = RunStats {
             per_node: (0..4)
-                .map(|i| Counters { write_faults: i as u64, ..Default::default() })
+                .map(|i| Counters {
+                    write_faults: i as u64,
+                    ..Default::default()
+                })
                 .collect(),
             parallel_time_ns: 1,
             sequential_time_ns: 1,
         };
         assert_eq!(s.totals().write_faults, 6);
+    }
+
+    #[test]
+    fn totals_cover_every_field() {
+        // Build nodes whose every field is non-zero via the JSON decoder
+        // (the field list lives in one place, so this stays exhaustive as
+        // counters are added), then check the merge over all of them.
+        let all = |x: u64| {
+            let mut v = Value::obj();
+            for name in Counters::FIELD_NAMES {
+                v.set(name, x);
+            }
+            Counters::from_json(&v)
+        };
+        let s = RunStats {
+            per_node: vec![all(1), all(2), all(4)],
+            parallel_time_ns: 1,
+            sequential_time_ns: 1,
+        };
+        let t = s.totals().to_json();
+        for name in Counters::FIELD_NAMES {
+            let expect = if *name == "twin_bytes_peak" { 4 } else { 7 };
+            assert_eq!(t.u64_field(name), Some(expect), "field {name}");
+        }
+    }
+
+    #[test]
+    fn zero_parallel_time_gives_zero_speedup() {
+        let s = RunStats {
+            per_node: Vec::new(),
+            parallel_time_ns: 0,
+            sequential_time_ns: 1000,
+        };
+        assert_eq!(s.speedup(), 0.0);
+        assert_eq!(s.totals(), Counters::default());
+    }
+
+    #[test]
+    fn json_roundtrip_counters() {
+        let c = Counters {
+            msgs_sent: 42,
+            compute_ns: u64::from(u32::MAX) * 1000,
+            twin_bytes_peak: 7,
+            ..Default::default()
+        };
+        let text = c.to_json().to_string();
+        let back = Counters::from_json(&Value::parse(&text).unwrap());
+        assert_eq!(back, c);
+        // every declared field appears in the encoding
+        for name in Counters::FIELD_NAMES {
+            assert!(text.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_run_stats() {
+        let s = RunStats {
+            per_node: vec![
+                Counters {
+                    read_faults: 3,
+                    ..Default::default()
+                },
+                Counters {
+                    msgs_sent: 9,
+                    ..Default::default()
+                },
+            ],
+            parallel_time_ns: 123,
+            sequential_time_ns: 456,
+        };
+        let text = s.to_json().to_string();
+        let back = RunStats::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.per_node, s.per_node);
+        assert_eq!(back.parallel_time_ns, 123);
+        assert_eq!(back.sequential_time_ns, 456);
+    }
+
+    #[test]
+    fn from_json_defaults_missing_fields_to_zero() {
+        let v = Value::parse(r#"{"msgs_sent":5}"#).unwrap();
+        let c = Counters::from_json(&v);
+        assert_eq!(c.msgs_sent, 5);
+        assert_eq!(c.read_faults, 0);
     }
 }

@@ -35,7 +35,8 @@ impl Table {
 
     /// Convenience for rows of displayable items.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Render the table with a header underline; first column is

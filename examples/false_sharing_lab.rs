@@ -67,7 +67,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
     let mk = move || {
-        Arc::new(Interleaved { words: 16 * 1024, stride, rounds: 4 })
+        Arc::new(Interleaved {
+            words: 16 * 1024,
+            stride,
+            rounds: 4,
+        })
     };
 
     println!(

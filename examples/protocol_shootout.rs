@@ -37,5 +37,8 @@ fn main() {
         t.row(&row);
     }
     println!("{}", t.render());
-    println!("best combination: {} @ {} B (speedup {:.2})", best.1, best.2, best.0);
+    println!(
+        "best combination: {} @ {} B (speedup {:.2})",
+        best.1, best.2, best.0
+    );
 }

@@ -66,12 +66,12 @@ impl DsmProgram for Histogram {
         let group = self.buckets / 4;
         for g in 0..4 {
             d.lock(g);
-            for b in g * group..(g + 1) * group {
-                if local[b] == 0 {
+            for (b, &cnt) in local.iter().enumerate().skip(g * group).take(group) {
+                if cnt == 0 {
                     continue;
                 }
                 let cur = d.read_u64(self.bucket_addr(b));
-                d.write_u64(self.bucket_addr(b), cur + local[b]);
+                d.write_u64(self.bucket_addr(b), cur + cnt);
             }
             d.unlock(g);
         }
@@ -90,7 +90,10 @@ impl DsmProgram for Histogram {
 }
 
 fn main() {
-    let app = Arc::new(Histogram { items: 64 * 1024, buckets: 64 });
+    let app = Arc::new(Histogram {
+        items: 64 * 1024,
+        buckets: 64,
+    });
 
     println!("running the same program under two configurations:\n");
     for cfg in [

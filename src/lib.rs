@@ -14,7 +14,10 @@
 //! * [`proto`] — the SC, SW-LRC and HLRC coherence protocols;
 //! * [`core`] — the run harness and the [`Dsm`] programming interface;
 //! * [`apps`] — the twelve SPLASH-2-derived applications;
-//! * [`stats`] — counters and the paper's aggregate statistics.
+//! * [`stats`] — counters and the paper's aggregate statistics;
+//! * [`obs`] — structured event recording, execution-time breakdowns and
+//!   the Perfetto/JSONL exporters;
+//! * [`json`] — the minimal JSON value model the workspace uses offline.
 //!
 //! ## Quick start
 //!
@@ -29,8 +32,10 @@
 
 pub use dsm_apps as apps;
 pub use dsm_core as core;
+pub use dsm_json as json;
 pub use dsm_mem as mem;
 pub use dsm_net as net;
+pub use dsm_obs as obs;
 pub use dsm_proto as proto;
 pub use dsm_sim as sim;
 pub use dsm_stats as stats;

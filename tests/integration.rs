@@ -35,9 +35,18 @@ fn stats_invariants_hold_across_protocols() {
 
 #[test]
 fn lrc_machinery_only_engages_for_lrc_protocols() {
-    let sc = run_experiment(&RunConfig::new(Protocol::Sc, 1024), small("volrend-rowwise"));
-    let hl = run_experiment(&RunConfig::new(Protocol::Hlrc, 1024), small("volrend-rowwise"));
-    let sw = run_experiment(&RunConfig::new(Protocol::SwLrc, 1024), small("volrend-rowwise"));
+    let sc = run_experiment(
+        &RunConfig::new(Protocol::Sc, 1024),
+        small("volrend-rowwise"),
+    );
+    let hl = run_experiment(
+        &RunConfig::new(Protocol::Hlrc, 1024),
+        small("volrend-rowwise"),
+    );
+    let sw = run_experiment(
+        &RunConfig::new(Protocol::SwLrc, 1024),
+        small("volrend-rowwise"),
+    );
     let (sct, hlt, swt) = (sc.stats.totals(), hl.stats.totals(), sw.stats.totals());
     assert_eq!(sct.write_notices_sent, 0, "SC must not send write notices");
     assert_eq!(sct.diffs_created, 0);
@@ -56,7 +65,10 @@ fn invalidations_are_eager_under_sc_and_lazy_under_lrc() {
     // for a barrier-only app with heavy read sharing, SC must invalidate
     // at least as often.
     let sc = run_experiment(&RunConfig::new(Protocol::Sc, 4096), small("ocean-rowwise"));
-    let hl = run_experiment(&RunConfig::new(Protocol::Hlrc, 4096), small("ocean-rowwise"));
+    let hl = run_experiment(
+        &RunConfig::new(Protocol::Hlrc, 4096),
+        small("ocean-rowwise"),
+    );
     assert!(sc.check.is_ok() && hl.check.is_ok());
     let scf = sc.stats.totals().write_faults + sc.stats.totals().read_faults;
     let hlf = hl.stats.totals().write_faults + hl.stats.totals().read_faults;
@@ -68,10 +80,7 @@ fn invalidations_are_eager_under_sc_and_lazy_under_lrc() {
 
 #[test]
 fn interrupt_runs_count_interrupts_and_polling_runs_do_not() {
-    let poll = run_experiment(
-        &RunConfig::new(Protocol::Sc, 1024),
-        small("water-nsquared"),
-    );
+    let poll = run_experiment(&RunConfig::new(Protocol::Sc, 1024), small("water-nsquared"));
     let intr = run_experiment(
         &RunConfig::new(Protocol::Sc, 1024).with_notify(Notify::Interrupt),
         small("water-nsquared"),
@@ -93,7 +102,11 @@ fn every_app_is_deterministic_across_repeat_runs() {
             a.stats.parallel_time_ns, b.stats.parallel_time_ns,
             "{name}: run times differ"
         );
-        assert_eq!(a.stats.totals(), b.stats.totals(), "{name}: counters differ");
+        assert_eq!(
+            a.stats.totals(),
+            b.stats.totals(),
+            "{name}: counters differ"
+        );
     }
 }
 
