@@ -21,7 +21,7 @@
 //! and center-of-mass and force sums run in canonical octant order, making
 //! particle state bit-identical to the sequential run.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -529,6 +529,20 @@ impl DsmProgram for Barnes {
 
     fn shared_bytes(&self) -> usize {
         self.particles_base() + 3 * self.n * 24 + self.n * 8
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // The octree (counters + cell arena) is rebuilt every step with
+        // migratory fine-grained writes; the particle arrays are
+        // owner-partitioned and mostly read by others.
+        vec![
+            RegionHint::new("tree", 0, self.particles_base()),
+            RegionHint::new(
+                "particles",
+                self.particles_base(),
+                3 * self.n * 24 + self.n * 8,
+            ),
+        ]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

@@ -8,7 +8,7 @@
 
 use std::f64::consts::PI;
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -93,6 +93,15 @@ impl DsmProgram for Fft {
 
     fn shared_bytes(&self) -> usize {
         2 * self.n() * 16
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // The two matrices have distinct roles per phase (transpose source
+        // vs destination), so they can profit from different policies.
+        vec![
+            RegionHint::new("matrix0", 0, self.n() * 16),
+            RegionHint::new("matrix1", self.n() * 16, self.n() * 16),
+        ]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

@@ -7,7 +7,7 @@
 //! is made diagonally dominant), so the parallel result is bit-identical to
 //! the sequential one.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -70,6 +70,12 @@ impl DsmProgram for Lu {
     fn shared_bytes(&self) -> usize {
         let per_side = self.nb.div_ceil(4);
         16 * per_side * per_side * self.b * self.b * 8
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // One homogeneous single-writer matrix; the hint names it so
+        // per-region reports and the adaptive runtime can still target it.
+        vec![RegionHint::new("matrix", 0, self.shared_bytes())]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

@@ -17,7 +17,7 @@
 //! Red/black ordering makes the result independent of update order, so the
 //! parallel image is bit-identical to the sequential one.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -92,6 +92,10 @@ impl DsmProgram for OceanRowwise {
 
     fn shared_bytes(&self) -> usize {
         (self.n + 2) * (self.n + 2) * 8
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        vec![RegionHint::new("grid", 0, self.shared_bytes())]
     }
 
     fn poll_inflation_pct(&self) -> u32 {
@@ -194,6 +198,15 @@ impl DsmProgram for OceanOriginal {
 
     fn shared_bytes(&self) -> usize {
         self.n * self.n * 8 + 4 * (self.n + 2) * 8
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // The contiguous subgrids are near-single-writer; the boundary
+        // ring strip is read-shared by all edge owners.
+        vec![
+            RegionHint::new("interior", 0, self.n * self.n * 8),
+            RegionHint::new("boundary", self.n * self.n * 8, 4 * (self.n + 2) * 8),
+        ]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

@@ -8,7 +8,7 @@
 //! image — multiple-writer, fine-grain access, coarse-grain
 //! synchronization.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{TaskQueues, XorShift, FLOP_NS};
 
@@ -164,6 +164,20 @@ impl DsmProgram for Raytrace {
 
     fn shared_bytes(&self) -> usize {
         SPHERES * SPHERE_BYTES + self.img * self.img * 8 + TaskQueues::bytes(NQUEUES, self.tasks())
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // Scene: read-only. Image: multiple fine-grained writers. Queues:
+        // migratory head/tail words under locks.
+        vec![
+            RegionHint::new("scene", 0, SPHERES * SPHERE_BYTES),
+            RegionHint::new("image", SPHERES * SPHERE_BYTES, self.img * self.img * 8),
+            RegionHint::new(
+                "queues",
+                SPHERES * SPHERE_BYTES + self.img * self.img * 8,
+                TaskQueues::bytes(NQUEUES, self.tasks()),
+            ),
+        ]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

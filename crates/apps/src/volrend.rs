@@ -13,7 +13,7 @@
 //! Every pixel's value is a pure function of the volume, so images verify
 //! bit-exactly; only the task assignment varies with stealing.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{TaskQueues, XorShift, FLOP_NS};
 
@@ -55,6 +55,20 @@ impl Volrend {
 
     fn shared_bytes(&self) -> usize {
         VOL * VOL * VOL + self.img * self.img * 8 + TaskQueues::bytes(NQUEUES, self.tasks())
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        // Volume: read-only. Image: fine-grained multi-writer (heavily
+        // false-shared in the tile version). Queues: migratory under locks.
+        vec![
+            RegionHint::new("volume", 0, VOL * VOL * VOL),
+            RegionHint::new("image", VOL * VOL * VOL, self.img * self.img * 8),
+            RegionHint::new(
+                "queues",
+                VOL * VOL * VOL + self.img * self.img * 8,
+                TaskQueues::bytes(NQUEUES, self.tasks()),
+            ),
+        ]
     }
 
     fn init(&self, mem: &mut MemImage) {
@@ -179,6 +193,9 @@ macro_rules! volrend_impl {
             }
             fn shared_bytes(&self) -> usize {
                 self.inner.shared_bytes()
+            }
+            fn regions(&self) -> Vec<RegionHint> {
+                self.inner.regions()
             }
             fn poll_inflation_pct(&self) -> u32 {
                 20

@@ -10,7 +10,7 @@
 //! Force merge order depends on lock acquisition order, so verification is
 //! an epsilon check on positions.
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -63,6 +63,10 @@ impl DsmProgram for WaterNsq {
 
     fn shared_bytes(&self) -> usize {
         self.n * Self::REC
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        vec![RegionHint::new("molecules", 0, self.shared_bytes())]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

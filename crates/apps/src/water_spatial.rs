@@ -9,7 +9,7 @@
 //! crossed into another processor's cell are moved under per-cell locks
 //! (the multiple-writer part).
 
-use dsm_core::{touch_region, Dsm, DsmProgram, MemImage};
+use dsm_core::{touch_region, Dsm, DsmProgram, MemImage, RegionHint};
 
 use crate::util::{XorShift, FLOP_NS};
 
@@ -121,6 +121,10 @@ impl DsmProgram for WaterSpatial {
 
     fn shared_bytes(&self) -> usize {
         self.num_cells() * (8 + CELL_CAP * MOL_BYTES)
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        vec![RegionHint::new("cells", 0, self.shared_bytes())]
     }
 
     fn poll_inflation_pct(&self) -> u32 {

@@ -1,0 +1,117 @@
+//! Extension: the per-region adaptive protocol × granularity runtime.
+//!
+//! Every application runs under the `dsm-adapt` policy engine: one
+//! profiling pass at the finest configuration (SC @ 64 bytes), an offline
+//! cost-model decision per region, then the mixed-mode run under the
+//! pinned policies. The adaptive runtime is held to the paper's own
+//! aggregate: its harmonic mean of relative efficiencies must be at least
+//! that of the best *fixed* protocol × granularity combination, and no
+//! application may lose more than 10% against its own best fixed cell.
+
+use dsm_adapt::run_adaptive;
+use dsm_bench::sweep::{sweep_app, GRANULARITIES};
+use dsm_core::{Protocol, RunConfig};
+use dsm_stats::{harmonic_mean, EfficiencyMatrix, Table};
+
+fn main() {
+    println!("== Extension: adaptive per-region protocol x granularity ==\n");
+
+    let mut m = EfficiencyMatrix::new();
+    let mut rows: Vec<(String, String, f64, String, f64, f64)> = Vec::new();
+    let mut adaptive_re: Vec<f64> = Vec::new();
+
+    for app in dsm_apps::registry::all_app_names() {
+        let grid = sweep_app(app);
+        let mut best = (String::new(), f64::INFINITY, 0.0f64);
+        for (pi, p) in Protocol::ALL.iter().enumerate() {
+            for (gi, g) in GRANULARITIES.iter().enumerate() {
+                let cell = &grid[pi][gi];
+                m.record(app, p.name(), *g, cell.speedup());
+                let t = cell.stats.parallel_time_ns as f64;
+                if t < best.1 {
+                    best = (format!("{}@{}", p.name(), g), t, cell.speedup());
+                }
+            }
+        }
+
+        let program = dsm_apps::registry::app(app).unwrap();
+        let (plan, r) = run_adaptive(&RunConfig::new(Protocol::Sc, 64), program);
+        assert!(
+            r.check.is_ok(),
+            "{app}: adaptive run failed verification: {:?}",
+            r.check
+        );
+        let picked = if plan.mixed {
+            let per: Vec<String> = plan
+                .decisions
+                .iter()
+                .map(|d| format!("{}:{}@{}", d.profile.name, d.protocol.name(), d.block))
+                .collect();
+            format!("mixed[{}]", per.join(","))
+        } else {
+            format!("{}@{}", plan.uniform.0.name(), plan.uniform.1)
+        };
+        let t_adapt = r.stats.parallel_time_ns as f64;
+        let ratio = t_adapt / best.1;
+        adaptive_re.push(r.stats.speedup() / best.2.max(r.stats.speedup()));
+        rows.push((
+            app.to_string(),
+            best.0.clone(),
+            best.1,
+            picked,
+            t_adapt,
+            ratio,
+        ));
+    }
+
+    let mut t = Table::new(&[
+        "Application",
+        "best fixed",
+        "t_best (ms)",
+        "adaptive pick",
+        "t_adapt (ms)",
+        "ratio",
+    ]);
+    for (app, bname, bt, pick, at, ratio) in &rows {
+        t.row(&[
+            app.clone(),
+            bname.clone(),
+            format!("{:.1}", bt / 1e6),
+            pick.clone(),
+            format!("{:.1}", at / 1e6),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Best fixed combination by HM of relative efficiency.
+    let mut best_fixed = ("", 0usize, 0.0f64);
+    for p in Protocol::ALL {
+        for g in GRANULARITIES {
+            let hm = m.hm_fixed(p.name(), g);
+            if hm > best_fixed.2 {
+                best_fixed = (p.name(), g, hm);
+            }
+        }
+    }
+    let hm_adapt = harmonic_mean(&adaptive_re);
+    println!(
+        "HM of relative efficiency: adaptive {:.3} vs best fixed {}@{} {:.3}",
+        hm_adapt, best_fixed.0, best_fixed.1, best_fixed.2
+    );
+
+    // Acceptance: adaptive within 10% of every app's own best fixed cell,
+    // and at least as good as any fixed combination in aggregate.
+    for (app, bname, _, pick, _, ratio) in &rows {
+        assert!(
+            *ratio <= 1.10 + 1e-9,
+            "{app}: adaptive ({pick}) is {ratio:.3}x its best fixed cell ({bname})"
+        );
+    }
+    assert!(
+        hm_adapt >= best_fixed.2,
+        "adaptive HM {hm_adapt:.3} below best fixed combination HM {:.3}",
+        best_fixed.2
+    );
+    println!("ok: adaptive within 1.10x per app and >= best fixed combination in HM");
+}

@@ -1,26 +1,94 @@
-//! Diagnostic: stat breakdown for one (app, protocol, granularity).
+//! Diagnostic: stat breakdown for one (app, protocol, granularity), or for
+//! the adaptive per-region runtime.
 //!
 //! ```text
-//! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE]
+//! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE] [--adaptive]
 //! ```
 //!
 //! Human-readable tables by default; `--json` switches to JSON Lines
-//! (per-node records with the time breakdown, then a run record).
-//! `--trace FILE` records the run and writes a Chrome trace-event file
-//! loadable in Perfetto (<https://ui.perfetto.dev>).
+//! (per-node records with the time breakdown, one record per region, then
+//! a run record). `--trace FILE` records the run and writes a Chrome
+//! trace-event file loadable in Perfetto (<https://ui.perfetto.dev>).
+//! `--adaptive` ignores PROTOCOL/BLOCK, profiles the application, lets the
+//! policy engine pin a protocol × granularity per region, and reports the
+//! mixed-mode run (per-region records carry the decision, the profiled
+//! sharing statistics it was based on, and the measured counters).
+use dsm_adapt::{choose_policies, profile_run, ModelParams, RegionDecision};
 use dsm_apps::registry::app;
-use dsm_core::{run_experiment, Protocol, RunConfig};
+use dsm_core::{run_experiment, ExperimentResult, Protocol, RegionReport, RunConfig};
 use dsm_json::Value;
 use dsm_obs::{chrome_trace, jsonl_metrics, TimeBreakdown};
+
+/// One JSONL record per region: policy, profiled stats, measured counters.
+fn region_record(r: &RegionReport, decision: Option<&RegionDecision>) -> Value {
+    let mut v = match decision {
+        Some(d) => d.to_json(),
+        None => Value::obj(),
+    };
+    v.set("type", "region");
+    v.set("region", r.name.as_str());
+    v.set("start", r.start);
+    v.set("len", r.len);
+    v.set("protocol", r.protocol.name());
+    v.set("block", r.block);
+    v.set("counters", r.counters.to_json());
+    v
+}
+
+fn print_regions(r: &ExperimentResult, decisions: &[RegionDecision]) {
+    println!(
+        "  {:<10} {:>9} {:>9}  {:>7} {:>5}  {:>8} {:>8} {:>8}  {:>9}",
+        "region", "start", "len", "proto", "block", "rfaults", "wfaults", "inval", "trafficKB"
+    );
+    for reg in &r.regions {
+        let c = &reg.counters;
+        println!(
+            "  {:<10} {:>9} {:>9}  {:>7} {:>5}  {:>8} {:>8} {:>8}  {:>9}",
+            reg.name,
+            reg.start,
+            reg.len,
+            reg.protocol.name(),
+            reg.block,
+            c.read_faults,
+            c.write_faults,
+            c.invalidations,
+            c.total_traffic() / 1024
+        );
+    }
+    for d in decisions {
+        println!(
+            "  plan {:<10} -> {}@{} (predicted {:.1}ms; {} touched units, {} multi-writer, \
+             {} writer / {} reader nodes)",
+            d.profile.name,
+            d.protocol.name(),
+            d.block,
+            d.predicted_ns / 1e6,
+            d.profile.touched_units,
+            d.profile.multi_writer_units,
+            d.profile.writer_nodes,
+            d.profile.reader_nodes
+        );
+        for (pi, p) in Protocol::ALL.iter().enumerate() {
+            let cells: Vec<String> = dsm_adapt::CANDIDATE_BLOCKS
+                .iter()
+                .enumerate()
+                .map(|(gi, g)| format!("{g}:{:9.1}", d.candidates_ns[pi][gi] / 1e6))
+                .collect();
+            println!("       {:<7} {}", p.name(), cells.join("  "));
+        }
+    }
+}
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut json = false;
+    let mut adaptive = false;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--adaptive" => adaptive = true,
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--trace requires a file path");
@@ -44,11 +112,21 @@ fn main() {
         .parse()
         .unwrap();
 
-    let mut cfg = RunConfig::new(proto, block);
+    let program = app(name).unwrap();
+    let mut decisions: Vec<RegionDecision> = Vec::new();
+    let mut cfg = RunConfig::new(proto, block).with_profile();
+    if adaptive {
+        let data = profile_run(&program);
+        let plan = choose_policies(&program, &data, &cfg, &ModelParams::default());
+        cfg.protocol = plan.uniform.0;
+        cfg.block_size = plan.uniform.1;
+        cfg = cfg.with_region_policies(plan.policies());
+        decisions = plan.decisions;
+    }
     if trace_path.is_some() {
         cfg = cfg.with_recording();
     }
-    let r = run_experiment(&cfg, app(name).unwrap());
+    let r = run_experiment(&cfg, program);
 
     if let Some(path) = &trace_path {
         std::fs::write(path, chrome_trace(&r.obs)).unwrap_or_else(|e| {
@@ -62,11 +140,16 @@ fn main() {
         let mut head = Value::obj();
         head.set("type", "config");
         head.set("app", name);
-        head.set("protocol", proto.name());
-        head.set("block", block);
+        head.set("adaptive", adaptive);
+        head.set("protocol", cfg.protocol.name());
+        head.set("block", cfg.block_size);
         head.set("speedup", r.speedup());
         head.set("check_ok", r.check.is_ok());
         println!("{head}");
+        for reg in &r.regions {
+            let d = decisions.iter().find(|d| d.profile.name == reg.name);
+            println!("{}", region_record(reg, d));
+        }
         print!("{}", jsonl_metrics(&r.obs, &r.stats));
         return;
     }
@@ -74,8 +157,17 @@ fn main() {
     let t = r.stats.totals();
     let par = r.stats.parallel_time_ns as f64 / 1e6;
     let seq = r.stats.sequential_time_ns as f64 / 1e6;
+    let mode = if adaptive {
+        format!(
+            "adaptive (uniform fallback {}@{})",
+            cfg.protocol.name(),
+            cfg.block_size
+        )
+    } else {
+        format!("{proto:?}@{block}")
+    };
     println!(
-        "{name} {proto:?}@{block}: speedup {:.2} (seq {seq:.1}ms par {par:.1}ms) check={:?}",
+        "{name} {mode}: speedup {:.2} (seq {seq:.1}ms par {par:.1}ms) check={:?}",
         r.speedup(),
         r.check.is_ok()
     );
@@ -91,6 +183,7 @@ fn main() {
         t.diffs_created,
         t.write_notices_sent
     );
+    print_regions(&r, &decisions);
     // Average the paper-style breakdown over the cluster.
     let nodes = r.stats.per_node.len().max(1);
     let wall: u64 = r.obs.nodes.iter().map(|n| n.wall_ns()).sum::<u64>() / nodes as u64;

@@ -46,8 +46,22 @@ impl MemImage {
         self.bytes.is_empty()
     }
 
+    /// Check that `[addr, addr+len)` lies inside the image, with a clear
+    /// panic message (a raw slice unwrap would point at the library line,
+    /// not at the offending address).
+    #[inline]
+    fn check_range(&self, addr: usize, len: usize) {
+        assert!(
+            addr.checked_add(len)
+                .is_some_and(|end| end <= self.bytes.len()),
+            "address {addr:#x}+{len} out of bounds for image of len {}",
+            self.bytes.len()
+        );
+    }
+
     /// Read an `f64` at byte offset `addr`.
     pub fn read_f64(&self, addr: usize) -> f64 {
+        self.check_range(addr, 8);
         f64::from_le_bytes(self.bytes[addr..addr + 8].try_into().unwrap())
     }
 
@@ -58,6 +72,7 @@ impl MemImage {
 
     /// Read a `u64`.
     pub fn read_u64(&self, addr: usize) -> u64 {
+        self.check_range(addr, 8);
         u64::from_le_bytes(self.bytes[addr..addr + 8].try_into().unwrap())
     }
 
@@ -68,6 +83,7 @@ impl MemImage {
 
     /// Read a `u32`.
     pub fn read_u32(&self, addr: usize) -> u32 {
+        self.check_range(addr, 4);
         u32::from_le_bytes(self.bytes[addr..addr + 4].try_into().unwrap())
     }
 
@@ -110,6 +126,20 @@ mod tests {
         assert_eq!(m.read_u64(8), 99);
         assert_eq!(m.read_u32(16), 7);
         assert_eq!(m.read_i64(24), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds for image of len 16")]
+    fn typed_read_past_end_names_the_address() {
+        let m = MemImage::new(16);
+        m.read_u64(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds for image of len 8")]
+    fn typed_read_with_overflowing_address_panics_cleanly() {
+        let m = MemImage::new(8);
+        m.read_u32(usize::MAX - 2);
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub mod thread;
 pub use api::Dsm;
 pub use image::MemImage;
 pub use runner::{
-    run_checked, run_experiment, run_parallel, run_sequential, ExperimentResult, RunConfig,
+    run_checked, run_experiment, run_parallel, run_sequential, ExperimentResult, RegionPolicy,
+    RegionReport, RunConfig,
 };
 pub use seq::SeqDsm;
 pub use thread::DsmThread;
@@ -62,6 +63,14 @@ pub trait DsmProgram: Send + Sync + 'static {
     /// The per-node program body.
     fn run(&self, d: &mut dyn Dsm);
 
+    /// Named data regions of the shared space (advisory). Programs that
+    /// declare regions can run mixed-mode — a different protocol ×
+    /// granularity per region — and are eligible for per-region adaptation.
+    /// The default (no hints) keeps the whole space as one region.
+    fn regions(&self) -> Vec<RegionHint> {
+        Vec::new()
+    }
+
     /// Polling-instrumentation compute overhead for this application, in
     /// percent (paper §5.4: app-dependent, up to 55% for LU).
     fn poll_inflation_pct(&self) -> u32 {
@@ -96,6 +105,34 @@ pub trait DsmProgram: Send + Sync + 'static {
 
 /// Shared-pointer alias used by the runner.
 pub type Program = Arc<dyn DsmProgram>;
+
+/// A named sub-range of a program's shared space that can carry its own
+/// coherence policy (protocol × granularity) in mixed-mode runs.
+///
+/// Hints are advisory: the runner snaps region starts down to a common
+/// alignment so every region span is a multiple of every legal block size,
+/// and address space not covered by any hint joins the preceding region (or
+/// an implicit head region under the run's default policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionHint {
+    /// Region name, matched against [`runner::RegionPolicy`] names.
+    pub name: String,
+    /// Start address within the shared space.
+    pub addr: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl RegionHint {
+    /// Convenience constructor.
+    pub fn new(name: &str, addr: usize, len: usize) -> Self {
+        RegionHint {
+            name: name.to_string(),
+            addr,
+            len,
+        }
+    }
+}
 
 /// Store-touch every 64-byte unit of `[addr, addr+len)`: the classic
 /// touch-array idiom that claims first-touch homes and warms access state.

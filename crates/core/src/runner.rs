@@ -5,16 +5,38 @@ use std::sync::Arc;
 
 use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
-use dsm_obs::{ObsConfig, ObsReport};
+use dsm_obs::{ObsConfig, ObsReport, SharingProfile};
 use dsm_proto::{final_image, ProtoConfig, ProtoWorld, Protocol};
 use dsm_sim::engine::{run_cluster, NodeBody, NodeCtx};
-use dsm_stats::RunStats;
+use dsm_stats::{RegionCounters, RunStats};
 
 use crate::api::Dsm;
 use crate::image::MemImage;
 use crate::seq::SeqDsm;
 use crate::thread::DsmThread;
 use crate::{DsmProgram, Program};
+
+/// The coherence policy assigned to one named region in a mixed-mode run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPolicy {
+    /// Region name (matched against the program's [`crate::RegionHint`]s).
+    pub name: String,
+    /// Consistency protocol for the region.
+    pub protocol: Protocol,
+    /// Coherence granularity for the region, in bytes.
+    pub block: usize,
+}
+
+impl RegionPolicy {
+    /// Convenience constructor.
+    pub fn new(name: &str, protocol: Protocol, block: usize) -> Self {
+        RegionPolicy {
+            name: name.to_string(),
+            protocol,
+            block,
+        }
+    }
+}
 
 /// Configuration of one parallel run.
 #[derive(Debug, Clone)]
@@ -25,6 +47,14 @@ pub struct RunConfig {
     pub block_size: usize,
     /// Consistency protocol.
     pub protocol: Protocol,
+    /// Per-region policy overrides. Empty = uniform run: one region under
+    /// (`protocol`, `block_size`). Non-empty = mixed mode: the program's
+    /// region hints become layout regions, each under its matching policy
+    /// (unmatched regions fall back to the run's defaults).
+    pub region_policies: Vec<RegionPolicy>,
+    /// Record a complete per-64-byte-unit sharing profile (used by the
+    /// adaptive runtime's profiling pass).
+    pub profile: bool,
     /// Message notification mechanism.
     pub notify: Notify,
     /// Platform cost constants.
@@ -44,12 +74,26 @@ impl RunConfig {
             nodes: 16,
             block_size,
             protocol,
+            region_policies: Vec::new(),
+            profile: false,
             notify: Notify::Polling,
             cost: CostModel::default(),
             latency: LatencyModel::default(),
             first_touch: true,
             obs: ObsConfig::default(),
         }
+    }
+
+    /// Same configuration with per-region policy overrides (mixed mode).
+    pub fn with_region_policies(mut self, policies: Vec<RegionPolicy>) -> Self {
+        self.region_policies = policies;
+        self
+    }
+
+    /// Same configuration with sharing-profile collection enabled.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// Same configuration with static (non-migrating) homes.
@@ -77,6 +121,25 @@ impl RunConfig {
     }
 }
 
+/// What one region looked like in a finished run: its layout, its policy,
+/// and the counters attributed to it.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// Region name.
+    pub name: String,
+    /// Start address within the shared space.
+    pub start: usize,
+    /// Region length in bytes.
+    pub len: usize,
+    /// Coherence granularity used, in bytes.
+    pub block: usize,
+    /// Protocol used.
+    pub protocol: Protocol,
+    /// Faults / invalidations / traffic attributed to the region (summed
+    /// over nodes).
+    pub counters: RegionCounters,
+}
+
 /// Everything a parallel run produces.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -87,15 +150,94 @@ pub struct RunOutcome {
     pub image: MemImage,
     /// Per-node event streams, histograms, and measured wall intervals.
     pub obs: ObsReport,
+    /// Per-region layout, policy, and counters (one entry per layout
+    /// region; a uniform run has a single `"shared"` region).
+    pub regions: Vec<RegionReport>,
+    /// Complete sharing profile, present when [`RunConfig::profile`] is set.
+    pub profile: Option<SharingProfile>,
+}
+
+/// The region spans a mixed-mode run would carve the shared space into,
+/// given an alignment: `(name, start, len)` triples covering the whole
+/// (rounded-up) space in address order.
+///
+/// Region starts are snapped *down* to `align` so every span is a multiple
+/// of every candidate granularity; hints that collapse onto the same
+/// boundary are superseded by the later one, and a leading uncovered range
+/// becomes an implicit `"head"` region. This is the exact carving
+/// [`run_parallel`] performs, exposed so policy engines can aggregate
+/// profile data over the same spans.
+pub fn planned_regions(program: &dyn DsmProgram, align: usize) -> Vec<(String, usize, usize)> {
+    let size = program.shared_bytes().div_ceil(align) * align;
+    let mut hints = program.regions();
+    hints.sort_by_key(|h| h.addr);
+    let mut cuts: Vec<(usize, String)> = Vec::new();
+    for h in &hints {
+        let start = h.addr / align * align;
+        if start >= size {
+            continue;
+        }
+        match cuts.last_mut() {
+            Some(last) if last.0 == start => last.1 = h.name.clone(),
+            _ => cuts.push((start, h.name.clone())),
+        }
+    }
+    if cuts.first().is_none_or(|c| c.0 != 0) {
+        cuts.insert(0, (0, "head".to_string()));
+    }
+    (0..cuts.len())
+        .map(|i| {
+            let end = cuts.get(i + 1).map_or(size, |c| c.0);
+            (cuts[i].1.clone(), cuts[i].0, end - cuts[i].0)
+        })
+        .collect()
+}
+
+/// Build the run's memory layout and the per-region protocol list from the
+/// program's region hints and the configured policies.
+///
+/// The carving is [`planned_regions`] at the largest block size in play
+/// (at least 4096); each span gets its matching policy's protocol and
+/// granularity, or the run's defaults when no policy names it.
+fn build_layout(cfg: &RunConfig, program: &dyn DsmProgram) -> (Layout, Vec<Protocol>) {
+    if cfg.region_policies.is_empty() {
+        return (
+            Layout::new(program.shared_bytes(), cfg.block_size),
+            Vec::new(),
+        );
+    }
+    let align = cfg
+        .region_policies
+        .iter()
+        .map(|p| p.block)
+        .chain([cfg.block_size, 4096])
+        .max()
+        .unwrap();
+    let spans = planned_regions(program, align);
+    let size = program.shared_bytes().div_ceil(align) * align;
+    let mut parts: Vec<(String, usize, usize)> = Vec::new();
+    let mut protos: Vec<Protocol> = Vec::new();
+    for (name, start, _len) in &spans {
+        let (protocol, block) = match cfg.region_policies.iter().find(|p| &p.name == name) {
+            Some(p) => (p.protocol, p.block),
+            None => (cfg.protocol, cfg.block_size),
+        };
+        parts.push((name.clone(), *start, block));
+        protos.push(protocol);
+    }
+    (Layout::with_regions(size, &parts), protos)
 }
 
 /// Run `program` on the simulated cluster under `cfg`.
 pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
-    let layout = Layout::new(program.shared_bytes(), cfg.block_size);
+    let (layout, region_protocols) = build_layout(cfg, program.as_ref());
+    let size = layout.size();
     let pcfg = ProtoConfig {
         nodes: cfg.nodes,
         layout,
         protocol: cfg.protocol,
+        region_protocols,
+        profile: cfg.profile,
         notify: cfg.notify,
         cost: cfg.cost.clone(),
         latency: cfg.latency.clone(),
@@ -104,7 +246,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         obs: cfg.obs.clone(),
     };
     let mut world = ProtoWorld::new(pcfg);
-    let mut golden = MemImage::new(layout.size());
+    let mut golden = MemImage::new(size);
     program.init(&mut golden);
     world.load_golden(golden.bytes());
 
@@ -130,6 +272,22 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
 
     let (mut world, end) = run_cluster(world, bodies);
     let obs = world.obs.take_report();
+    let regions = world
+        .cfg
+        .layout
+        .regions()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| RegionReport {
+            name: r.name().to_string(),
+            start: r.start(),
+            len: r.len(),
+            block: r.block_size(),
+            protocol: world.region_proto[i],
+            counters: world.region_stats[i].clone(),
+        })
+        .collect();
+    let profile = world.profile.take();
     RunOutcome {
         stats: RunStats {
             per_node: world.stats.clone(),
@@ -138,6 +296,8 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         },
         image: MemImage::from_bytes(final_image(&world)),
         obs,
+        regions,
+        profile,
     }
 }
 
@@ -171,6 +331,10 @@ pub struct ExperimentResult {
     pub check: Result<(), String>,
     /// Observability report from the parallel run.
     pub obs: ObsReport,
+    /// Per-region layout, policy, and counters.
+    pub regions: Vec<RegionReport>,
+    /// Sharing profile, when [`RunConfig::profile`] was set.
+    pub profile: Option<SharingProfile>,
 }
 
 impl ExperimentResult {
@@ -192,6 +356,8 @@ pub fn run_experiment(cfg: &RunConfig, program: Program) -> ExperimentResult {
         stats: out.stats,
         check,
         obs: out.obs,
+        regions: out.regions,
+        profile: out.profile,
     }
 }
 

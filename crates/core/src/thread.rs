@@ -23,7 +23,7 @@ pub struct DsmThread<'a> {
     me: usize,
     n: usize,
     lrc: bool,
-    block_size: usize,
+    layout: dsm_mem::Layout,
     /// Batched local time not yet pushed into the simulator.
     pending_ns: Time,
     /// Accumulated raw compute time (pre-inflation), flushed to stats.
@@ -40,14 +40,13 @@ impl<'a> DsmThread<'a> {
     pub fn new(ctx: &'a mut NodeCtx<ProtoWorld>, inflation_pct: u32) -> Self {
         let me = ctx.node();
         let n = ctx.num_nodes();
-        let (lrc, block_size) =
-            ctx.world(|w, _| (w.cfg.protocol.is_lrc(), w.cfg.layout.block_size()));
+        let (lrc, layout) = ctx.world(|w, _| (w.has_lrc, w.cfg.layout.clone()));
         DsmThread {
             ctx,
             me,
             n,
             lrc,
-            block_size,
+            layout,
             pending_ns: 0,
             compute_acc: 0,
             poll_acc: 0,
@@ -142,11 +141,12 @@ impl<'a> DsmThread<'a> {
         len: usize,
         mut f: impl FnMut(&mut Self, usize, std::ops::Range<usize>),
     ) {
-        let bs = self.block_size;
         let mut off = 0;
         while off < len {
             let a = addr + off;
-            let in_block = bs - (a % bs);
+            // Blocks are region-relative: the piece ends at the enclosing
+            // block's boundary in the region's own granularity.
+            let in_block = self.layout.block_end(a) - a;
             let take = in_block.min(len - off);
             f(self, a, off..off + take);
             off += take;

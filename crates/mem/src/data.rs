@@ -21,16 +21,17 @@ pub struct DataStore {
 impl DataStore {
     /// Zero-filled copies for `n_nodes` nodes.
     pub fn new(n_nodes: usize, layout: Layout) -> Self {
+        let bytes = vec![0u8; n_nodes * layout.size()];
         DataStore {
             layout,
-            bytes: vec![0u8; n_nodes * layout.size()],
+            bytes,
             n_nodes,
         }
     }
 
     /// The layout this store was built with.
-    pub fn layout(&self) -> Layout {
-        self.layout
+    pub fn layout(&self) -> &Layout {
+        &self.layout
     }
 
     /// Immutable view of one node's copy.

@@ -1,4 +1,11 @@
 //! Block layout of the shared virtual address space.
+//!
+//! The shared space is partitioned into contiguous **regions**, each with
+//! its own coherence block size. The classic uniform layout is the
+//! single-region special case ([`Layout::new`]). Block ids are assigned
+//! region-major and increase monotonically with byte address, so a byte
+//! range always maps onto a contiguous range of block ids regardless of
+//! how many regions (and block sizes) it crosses.
 
 /// Index of a coherence block within the shared space.
 pub type BlockId = usize;
@@ -6,22 +13,127 @@ pub type BlockId = usize;
 /// The four coherence granularities studied in the paper, in bytes.
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
 
-/// Shared address space layout: total size and coherence block size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One contiguous span of the shared space with a single block size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    /// First byte of the region.
+    start: usize,
+    /// One past the last byte of the region.
+    end: usize,
+    /// Coherence block size inside this region.
+    block: usize,
+    /// Block id of the region's first block.
+    base: BlockId,
+}
+
+impl Region {
+    /// Region name (for reports and policy lookups).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First byte address of the region.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last byte address of the region.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the region is empty (never true for a constructed layout).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Coherence block size inside this region.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Block id of the region's first block.
+    pub fn base_block(&self) -> BlockId {
+        self.base
+    }
+
+    /// Number of blocks in the region.
+    pub fn num_blocks(&self) -> usize {
+        (self.end - self.start) / self.block
+    }
+}
+
+/// Shared address space layout: total size plus its region table.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layout {
     size: usize,
-    block: usize,
+    regions: Vec<Region>,
+}
+
+fn check_block(block: usize) {
+    assert!(block.is_power_of_two(), "block size must be a power of two");
+    assert!(block >= 8, "block size must be at least a word");
 }
 
 impl Layout {
-    /// Create a layout. `block` must be a power of two; `size` is rounded up
-    /// to a whole number of blocks.
+    /// Create a uniform layout. `block` must be a power of two; `size` is
+    /// rounded up to a whole number of blocks.
     pub fn new(size: usize, block: usize) -> Self {
-        assert!(block.is_power_of_two(), "block size must be a power of two");
-        assert!(block >= 8, "block size must be at least a word");
+        check_block(block);
         let size = size.div_ceil(block) * block;
         assert!(size > 0, "empty shared space");
-        Layout { size, block }
+        Layout {
+            size,
+            regions: vec![Region {
+                name: "shared".into(),
+                start: 0,
+                end: size,
+                block,
+                base: 0,
+            }],
+        }
+    }
+
+    /// Create a multi-region layout from `(name, start, block)` triples.
+    ///
+    /// Parts must be sorted by `start`, begin at 0, and each part's span
+    /// (up to the next part's start, or `size`) must be a whole number of
+    /// its blocks. Callers are responsible for snapping boundaries to
+    /// suitable alignment before constructing the layout.
+    pub fn with_regions(size: usize, parts: &[(String, usize, usize)]) -> Self {
+        assert!(!parts.is_empty(), "layout needs at least one region");
+        assert!(size > 0, "empty shared space");
+        assert_eq!(parts[0].1, 0, "first region must start at address 0");
+        let mut regions = Vec::with_capacity(parts.len());
+        let mut base = 0;
+        for (i, (name, start, block)) in parts.iter().enumerate() {
+            check_block(*block);
+            let end = parts.get(i + 1).map_or(size, |p| p.1);
+            assert!(
+                *start < end,
+                "region {name:?} is empty or out of order ({start:#x}..{end:#x})"
+            );
+            assert!(
+                (end - start).is_multiple_of(*block),
+                "region {name:?} span {} is not a multiple of its block size {block}",
+                end - start
+            );
+            regions.push(Region {
+                name: name.clone(),
+                start: *start,
+                end,
+                block: *block,
+                base,
+            });
+            base += (end - start) / block;
+        }
+        Layout { size, regions }
     }
 
     /// Total bytes of shared space.
@@ -29,31 +141,86 @@ impl Layout {
         self.size
     }
 
-    /// Coherence block size in bytes.
+    /// Largest block size across regions (the uniform block size for
+    /// single-region layouts).
     pub fn block_size(&self) -> usize {
-        self.block
+        self.regions.iter().map(|r| r.block).max().unwrap()
     }
 
-    /// Number of coherence blocks.
+    /// Number of coherence blocks across all regions.
     pub fn num_blocks(&self) -> usize {
-        self.size / self.block
+        let last = self.regions.last().unwrap();
+        last.base + last.num_blocks()
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region table.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Region with index `i`.
+    pub fn region(&self, i: usize) -> &Region {
+        &self.regions[i]
+    }
+
+    /// Index of the region containing byte address `addr`.
+    #[inline]
+    pub fn region_of_addr(&self, addr: usize) -> usize {
+        debug_assert!(addr < self.size, "address {addr:#x} out of shared space");
+        if self.regions.len() == 1 {
+            return 0;
+        }
+        self.regions.partition_point(|r| r.end <= addr)
+    }
+
+    /// Index of the region containing block `b`.
+    #[inline]
+    pub fn region_of_block(&self, b: BlockId) -> usize {
+        if self.regions.len() == 1 {
+            return 0;
+        }
+        debug_assert!(b < self.num_blocks(), "block {b} out of range");
+        self.regions
+            .partition_point(|r| r.base + r.num_blocks() <= b)
+    }
+
+    /// Block size of the region containing block `b`.
+    #[inline]
+    pub fn block_size_of(&self, b: BlockId) -> usize {
+        self.regions[self.region_of_block(b)].block
     }
 
     /// Block containing byte address `addr`.
     #[inline]
     pub fn block_of(&self, addr: usize) -> BlockId {
         debug_assert!(addr < self.size, "address {addr:#x} out of shared space");
-        addr / self.block
+        let r = &self.regions[self.region_of_addr(addr)];
+        r.base + (addr - r.start) / r.block
     }
 
     /// Byte range of block `b`.
     #[inline]
     pub fn block_range(&self, b: BlockId) -> std::ops::Range<usize> {
-        let start = b * self.block;
-        start..start + self.block
+        let r = &self.regions[self.region_of_block(b)];
+        let start = r.start + (b - r.base) * r.block;
+        start..start + r.block
     }
 
-    /// Iterator over the blocks overlapping `[addr, addr+len)`.
+    /// One past the last byte of the block containing `addr` (the first
+    /// address that falls in the next block).
+    #[inline]
+    pub fn block_end(&self, addr: usize) -> usize {
+        let r = &self.regions[self.region_of_addr(addr)];
+        r.start + ((addr - r.start) / r.block + 1) * r.block
+    }
+
+    /// Iterator over the blocks overlapping `[addr, addr+len)`. Block ids
+    /// are monotone in address, so the covering set is always contiguous.
     pub fn blocks_covering(
         &self,
         addr: usize,
@@ -66,8 +233,8 @@ impl Layout {
             addr + len,
             self.size
         );
-        let first = addr / self.block;
-        let last = (addr + len - 1) / self.block;
+        let first = self.block_of(addr);
+        let last = self.block_of(addr + len - 1);
         first..=last
     }
 }
@@ -114,5 +281,90 @@ mod tests {
     fn rejects_out_of_range_access() {
         let l = Layout::new(1024, 64);
         let _ = l.blocks_covering(1020, 8).count();
+    }
+
+    fn three_regions() -> Layout {
+        // [0, 4096) @ 256 | [4096, 8192) @ 1024 | [8192, 8448) @ 64
+        Layout::with_regions(
+            8448,
+            &[
+                ("a".into(), 0, 256),
+                ("b".into(), 4096, 1024),
+                ("c".into(), 8192, 64),
+            ],
+        )
+    }
+
+    #[test]
+    fn regions_get_monotone_block_ids() {
+        let l = three_regions();
+        assert_eq!(l.num_regions(), 3);
+        assert_eq!(l.num_blocks(), 16 + 4 + 4);
+        assert_eq!(l.region(0).base_block(), 0);
+        assert_eq!(l.region(1).base_block(), 16);
+        assert_eq!(l.region(2).base_block(), 20);
+        // Monotone: block ids strictly increase across boundaries.
+        assert_eq!(l.block_of(4095), 15);
+        assert_eq!(l.block_of(4096), 16);
+        assert_eq!(l.block_of(8191), 19);
+        assert_eq!(l.block_of(8192), 20);
+        assert_eq!(l.block_of(8447), 23);
+    }
+
+    #[test]
+    fn per_region_block_sizes_and_ranges() {
+        let l = three_regions();
+        assert_eq!(l.block_size_of(0), 256);
+        assert_eq!(l.block_size_of(16), 1024);
+        assert_eq!(l.block_size_of(20), 64);
+        assert_eq!(l.block_range(16), 4096..5120);
+        assert_eq!(l.block_range(20), 8192..8256);
+        assert_eq!(l.block_size(), 1024, "layout-wide block size is the max");
+        assert_eq!(l.region_of_block(15), 0);
+        assert_eq!(l.region_of_block(19), 1);
+        assert_eq!(l.region_of_block(23), 2);
+    }
+
+    #[test]
+    fn covering_crosses_region_boundaries_contiguously() {
+        let l = three_regions();
+        let v: Vec<_> = l.blocks_covering(4090, 1030).collect();
+        assert_eq!(v, vec![15, 16]);
+        // [8000, 8300) = tail of the 1024-byte block 19 plus the 64-byte
+        // blocks [8192,8256) and [8256,8320).
+        let v: Vec<_> = l.blocks_covering(8000, 300).collect();
+        assert_eq!(v, vec![19, 20, 21]);
+    }
+
+    #[test]
+    fn block_end_respects_region_grain() {
+        let l = three_regions();
+        assert_eq!(l.block_end(0), 256);
+        assert_eq!(l.block_end(255), 256);
+        assert_eq!(l.block_end(4096), 5120);
+        assert_eq!(l.block_end(8200), 8256);
+    }
+
+    #[test]
+    fn uniform_equivalence_of_multi_region_layout() {
+        // Regions that all share one block size behave exactly like the
+        // uniform layout: same ids, ranges, and covering sets.
+        let u = Layout::new(8192, 256);
+        let m = Layout::with_regions(8192, &[("x".into(), 0, 256), ("y".into(), 4096, 256)]);
+        for addr in (0..8192).step_by(97) {
+            assert_eq!(u.block_of(addr), m.block_of(addr));
+            assert_eq!(u.block_end(addr), m.block_end(addr));
+        }
+        for b in 0..u.num_blocks() {
+            assert_eq!(u.block_range(b), m.block_range(b));
+            assert_eq!(m.block_size_of(b), 256);
+        }
+        assert_eq!(u.num_blocks(), m.num_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_misaligned_region_span() {
+        Layout::with_regions(8192, &[("x".into(), 0, 256), ("y".into(), 4100, 256)]);
     }
 }

@@ -14,5 +14,5 @@ pub mod state;
 pub use alloc::BumpAlloc;
 pub use data::DataStore;
 pub use home::HomeDirectory;
-pub use layout::{BlockId, Layout, GRANULARITIES};
+pub use layout::{BlockId, Layout, Region, GRANULARITIES};
 pub use state::{Access, AccessTable};

@@ -25,6 +25,7 @@ pub mod event;
 pub mod export;
 pub mod filter;
 pub mod hist;
+pub mod profile;
 pub mod recorder;
 
 pub use breakdown::TimeBreakdown;
@@ -32,4 +33,5 @@ pub use event::{Event, EventKind};
 pub use export::{chrome_trace, jsonl_metrics};
 pub use filter::TraceFilter;
 pub use hist::Hist;
+pub use profile::{SharingProfile, PROFILE_UNIT};
 pub use recorder::{NodeObs, ObsConfig, ObsReport, Recorder};

@@ -75,6 +75,12 @@ pub struct ProtoConfig {
     pub first_touch: bool,
     /// Observability: structured event recording configuration.
     pub obs: ObsConfig,
+    /// Per-region protocol overrides, one entry per layout region (mixed-
+    /// mode execution). Empty means every region runs `protocol`.
+    pub region_protocols: Vec<Protocol>,
+    /// Record a complete fine-grain sharing profile (64-byte units) for the
+    /// adaptive policy engine. Unlike the event rings this never drops.
+    pub profile: bool,
 }
 
 impl ProtoConfig {
@@ -92,7 +98,18 @@ impl ProtoConfig {
             poll_inflation_pct: poll,
             first_touch: true,
             obs: ObsConfig::default(),
+            region_protocols: Vec::new(),
+            profile: false,
         }
+    }
+
+    /// Protocol of layout region `r` (the global protocol unless a
+    /// per-region override is configured).
+    pub fn region_protocol(&self, r: usize) -> Protocol {
+        self.region_protocols
+            .get(r)
+            .copied()
+            .unwrap_or(self.protocol)
     }
 }
 

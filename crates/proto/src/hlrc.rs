@@ -73,10 +73,7 @@ pub fn start_fault(
     b: BlockId,
     kind: FaultKind,
 ) {
-    match kind {
-        FaultKind::Read => w.stats[me].read_faults += 1,
-        FaultKind::Write => w.stats[me].write_faults += 1,
-    }
+    w.count_fault(me, b, kind);
     if w.hl.pending_kind.len() < w.cfg.nodes {
         w.hl.pending_kind.resize(w.cfg.nodes, None);
     }
@@ -183,7 +180,7 @@ fn serve_fetch(
     b: BlockId,
     at: Time,
 ) {
-    let bs = w.block_size() as u64;
+    let bs = w.block_size_of(b) as u64;
     let c = w.cfg.cost.copy_cost(bs);
     w.occupy(s, me, c);
     w.stats[me].fetches_served += 1;
@@ -327,7 +324,7 @@ pub fn local_write_fault(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) 
     }
     w.access.set(me, b, Access::ReadWrite);
     w.nodes[me].mark_dirty(b);
-    w.stats[me].local_write_faults += 1;
+    w.count_local_fault(me, b);
     cost
 }
 
@@ -337,28 +334,28 @@ fn make_twin(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) -> Time {
     let twin = w.data.node(me)[r].to_vec();
     w.nodes[me].twins.insert(b, twin);
     w.stats[me].twins_created += 1;
-    let held = w.nodes[me].twins.len() as u64 * w.block_size() as u64;
+    let held: u64 = w.nodes[me].twins.values().map(|t| t.len() as u64).sum();
     let st = &mut w.stats[me];
     st.twin_bytes_peak = st.twin_bytes_peak.max(held);
-    w.cfg.cost.twin_cost(w.block_size() as u64)
+    w.cfg.cost.twin_cost(w.block_size_of(b) as u64)
 }
 
-/// Release-time actions: diff dirty blocks against their twins and ship the
-/// diffs home; home blocks just record the flush. Returns (notices, local
-/// processing time).
+/// Release-time actions: diff the given HLRC dirty blocks (already taken
+/// from the node's dirty list and filtered to this protocol by the caller)
+/// against their twins and ship the diffs home; home blocks just record the
+/// flush. Returns (notices, local processing time).
 pub fn release_dirty(
     w: &mut ProtoWorld,
     s: &mut Sched<Envelope>,
     me: NodeId,
     interval: u32,
+    dirty: Vec<BlockId>,
 ) -> (Vec<Notice>, Time) {
-    let dirty = std::mem::take(&mut w.nodes[me].dirty);
-    let bs = w.block_size() as u64;
     let mut notices = Vec::with_capacity(dirty.len());
     let mut elapsed: Time = 0;
     for b in dirty {
         if let Some(twin) = w.nodes[me].twins.remove(&b) {
-            elapsed += w.cfg.cost.diff_scan_cost(bs);
+            elapsed += w.cfg.cost.diff_scan_cost(w.block_size_of(b) as u64);
             let r = w.cfg.layout.block_range(b);
             let diff = Diff::create(&twin, &w.data.node(me)[r]);
             if w.access.get(me, b) == Access::ReadWrite {
@@ -435,7 +432,7 @@ pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, n: 
     let mut elapsed: Time = 0;
     // A dirty twin of ours must be published before we drop the copy.
     if let Some(twin) = w.nodes[me].twins.remove(&n.block) {
-        let bs = w.block_size() as u64;
+        let bs = w.block_size_of(n.block) as u64;
         elapsed += w.cfg.cost.diff_scan_cost(bs);
         let r = w.cfg.layout.block_range(n.block);
         let diff = Diff::create(&twin, &w.data.node(me)[r]);
@@ -472,9 +469,7 @@ pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, n: 
     }
     if w.access.get(me, n.block) != Access::Invalid {
         w.access.set(me, n.block, Access::Invalid);
-        w.stats[me].invalidations += 1;
-        w.obs
-            .record(me, s.now(), EventKind::Invalidate { block: n.block });
+        w.count_inval(me, n.block, s.now());
     }
     elapsed
 }
@@ -593,7 +588,8 @@ mod tests {
         local_write_fault(&mut w, 2, 1, 0);
         // Block 0 really changes; block 1 is rewritten with identical bytes.
         w.data.node_mut(2)[5] = 0xAB;
-        let (notices, elapsed) = release_dirty(&mut w, &mut s, 2, 1);
+        let dirty = std::mem::take(&mut w.nodes[2].dirty);
+        let (notices, elapsed) = release_dirty(&mut w, &mut s, 2, 1, dirty);
         assert_eq!(notices.len(), 1, "identical rewrite publishes nothing");
         assert_eq!(notices[0].block, 0);
         assert!(elapsed > 0, "diff scans take time");

@@ -66,21 +66,30 @@ impl NoticeLog {
 /// Returns the local processing time (twin scans, diff creation) the calling
 /// thread must charge before its release message departs.
 pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId) -> Time {
-    match w.cfg.protocol {
-        Protocol::Sc => 0,
-        Protocol::SwLrc => {
-            let interval = w.nodes[me].vt.tick(me);
-            let notices = swlrc::release_dirty(w, me);
-            w.log.push_interval(me, interval, notices);
-            0
-        }
-        Protocol::Hlrc => {
-            let interval = w.nodes[me].vt.tick(me);
-            let (notices, elapsed) = hlrc::release_dirty(w, s, me, interval);
-            w.log.push_interval(me, interval, notices);
-            elapsed
+    if !w.has_lrc {
+        return 0; // SC-only run: eager coherence, no release actions
+    }
+    let interval = w.nodes[me].vt.tick(me);
+    // Mixed mode: partition this interval's dirty blocks by their region's
+    // protocol; SC blocks are kept coherent eagerly and never appear here.
+    let dirty = std::mem::take(&mut w.nodes[me].dirty);
+    let mut sw_dirty = Vec::new();
+    let mut hl_dirty = Vec::new();
+    for b in dirty {
+        match w.protocol_of(b) {
+            Protocol::SwLrc => sw_dirty.push(b),
+            Protocol::Hlrc => hl_dirty.push(b),
+            Protocol::Sc => unreachable!("SC block {b} in the dirty list"),
         }
     }
+    // Union transport: both protocols' notices are logged in one interval,
+    // so a single vector-time/notice mechanism carries cross-region
+    // causality regardless of which protocols coexist.
+    let mut notices = swlrc::release_dirty(w, me, sw_dirty);
+    let (hl_notices, elapsed) = hlrc::release_dirty(w, s, me, interval, hl_dirty);
+    notices.extend(hl_notices);
+    w.log.push_interval(me, interval, notices);
+    elapsed
 }
 
 /// Apply acquire-time consistency information (from a lock grant or barrier
@@ -114,10 +123,10 @@ pub fn acquire_actions(
         if n.writer == me {
             continue;
         }
-        elapsed += match w.cfg.protocol {
+        elapsed += match w.protocol_of(n.block) {
             Protocol::SwLrc => swlrc::apply_notice(w, me, n, s.now()),
             Protocol::Hlrc => hlrc::apply_notice(w, s, me, n),
-            Protocol::Sc => unreachable!("SC grant carried a vector time"),
+            Protocol::Sc => unreachable!("write notice for an SC block"),
         };
     }
     elapsed

@@ -30,8 +30,7 @@ pub fn access_cost(w: &ProtoWorld, len: usize) -> Time {
 
 /// Attempt to read `buf.len()` bytes at `addr` into `buf`.
 pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8]) -> Attempt {
-    let layout = w.cfg.layout;
-    for b in layout.blocks_covering(addr, buf.len()) {
+    for b in w.cfg.layout.blocks_covering(addr, buf.len()) {
         if !w.access.get(me, b).readable() {
             return Attempt::Fault(b);
         }
@@ -43,11 +42,10 @@ pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8]) -> 
 /// Attempt to write `data` at `addr`. `now` stamps locally-resolved fault
 /// events.
 pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8], now: Time) -> Attempt {
-    let layout = w.cfg.layout;
-    for b in layout.blocks_covering(addr, data.len()) {
+    for b in w.cfg.layout.blocks_covering(addr, data.len()) {
         match w.access.get(me, b) {
             Access::ReadWrite => {}
-            Access::Read => match w.cfg.protocol {
+            Access::Read => match w.protocol_of(b) {
                 Protocol::Sc => return Attempt::Fault(b),
                 Protocol::SwLrc => {
                     if w.sw.is_owner(me, b) {
@@ -80,7 +78,7 @@ pub fn start_fault(
     b: BlockId,
     kind: FaultKind,
 ) {
-    match w.cfg.protocol {
+    match w.protocol_of(b) {
         Protocol::Sc => sc::start_fault(w, s, me, b, kind),
         Protocol::SwLrc => swlrc::start_fault(w, s, me, b, kind),
         Protocol::Hlrc => hlrc::start_fault(w, s, me, b, kind),

@@ -11,7 +11,6 @@
 use std::collections::VecDeque;
 
 use dsm_mem::{Access, BlockId};
-use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::msg::{Envelope, FaultKind, ProtoMsg};
@@ -80,10 +79,7 @@ pub fn start_fault(
     b: BlockId,
     kind: FaultKind,
 ) {
-    match kind {
-        FaultKind::Read => w.stats[me].read_faults += 1,
-        FaultKind::Write => w.stats[me].write_faults += 1,
-    }
+    w.count_fault(me, b, kind);
     w.nodes[me].pending_fault = Some((b, kind));
     w.nodes[me].fault_poisoned = false;
     w.nodes[me].fault_retries = 0;
@@ -228,7 +224,7 @@ fn send_read_grant(
     w.sc.entry(b).sharers |= bit(from);
     let with_data = from != home;
     let (data, extra) = if with_data {
-        let bs = w.block_size() as u64;
+        let bs = w.block_size_of(b) as u64;
         let c = w.cfg.cost.copy_cost(bs);
         w.occupy(s, home, c);
         w.stats[home].fetches_served += 1;
@@ -279,8 +275,7 @@ fn begin_write(
         targets &= !bit(home);
         if w.access.get(home, b) != Access::Invalid {
             w.access.set(home, b, Access::Invalid);
-            w.stats[home].invalidations += 1;
-            w.obs.record(home, at, EventKind::Invalidate { block: b });
+            w.count_inval(home, b, at);
         }
     }
     let mut acks = 0u32;
@@ -322,7 +317,7 @@ fn complete_write(
         w.access.set(home, b, Access::Invalid);
     }
     let (data, extra) = if with_data {
-        let bs = w.block_size() as u64;
+        let bs = w.block_size_of(b) as u64;
         let c = w.cfg.cost.copy_cost(bs);
         w.occupy(s, home, c);
         w.stats[home].fetches_served += 1;
@@ -350,7 +345,7 @@ fn complete_write(
 pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
     debug_assert_eq!(w.access.get(me, b), Access::ReadWrite);
     w.access.set(me, b, Access::Read);
-    let bs = w.block_size() as u64;
+    let bs = w.block_size_of(b) as u64;
     let c = w.cfg.cost.copy_cost(bs);
     w.occupy(s, me, c);
     let home = w.route_home(b);
@@ -381,9 +376,8 @@ pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: 
     match w.access.get(me, b) {
         Access::ReadWrite => {
             w.access.set(me, b, Access::Invalid);
-            w.stats[me].invalidations += 1;
-            w.obs.record(me, at, EventKind::Invalidate { block: b });
-            let bs = w.block_size() as u64;
+            w.count_inval(me, b, at);
+            let bs = w.block_size_of(b) as u64;
             let c = w.cfg.cost.copy_cost(bs);
             w.occupy(s, me, c);
             w.send(
@@ -402,8 +396,7 @@ pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: 
         }
         Access::Read => {
             w.access.set(me, b, Access::Invalid);
-            w.stats[me].invalidations += 1;
-            w.obs.record(me, at, EventKind::Invalidate { block: b });
+            w.count_inval(me, b, at);
             w.send(
                 s,
                 me,
@@ -441,7 +434,7 @@ pub fn handle_write_back(
 ) {
     // Install the latest data in the home copy.
     w.data.copy_block(b, from, me);
-    let c = w.cfg.cost.copy_cost(w.block_size() as u64);
+    let c = w.cfg.cost.copy_cost(w.block_size_of(b) as u64);
     w.occupy(s, me, c);
     {
         let e = w.sc.entry(b);
@@ -518,7 +511,7 @@ pub fn handle_grant(
             w.nodes[me].fault_retries < 10_000,
             "read fault on block {b} livelocked under invalidation pressure"
         );
-        w.stats[me].read_faults += 1;
+        w.count_fault(me, b, FaultKind::Read);
         let target = w
             .homes
             .cached(me, b)

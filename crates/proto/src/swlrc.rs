@@ -11,7 +11,6 @@
 use std::collections::HashMap;
 
 use dsm_mem::{Access, BlockId};
-use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::msg::{Envelope, FaultKind, Notice, ProtoMsg};
@@ -118,10 +117,7 @@ pub fn start_fault(
     b: BlockId,
     kind: FaultKind,
 ) {
-    match kind {
-        FaultKind::Read => w.stats[me].read_faults += 1,
-        FaultKind::Write => w.stats[me].write_faults += 1,
-    }
+    w.count_fault(me, b, kind);
     let depart = s.now() + w.cfg.cost.fault_exception_ns + w.cfg.cost.handler_ns;
     let target =
         w.sw.hint_of(me, b)
@@ -199,7 +195,7 @@ pub fn handle_request(
             FaultKind::Read => {
                 // Unowned read: the directory serves its (golden) copy at
                 // version 0 without claiming.
-                let bs = w.block_size() as u64;
+                let bs = w.block_size_of(b) as u64;
                 let c = w.cfg.cost.copy_cost(bs);
                 w.occupy(s, me, c);
                 w.stats[me].fetches_served += 1;
@@ -254,7 +250,7 @@ fn serve(
     kind: FaultKind,
     at: Time,
 ) {
-    let bs = w.block_size() as u64;
+    let bs = w.block_size_of(b) as u64;
     let c = w.cfg.cost.copy_cost(bs);
     w.occupy(s, me, c);
     w.stats[me].fetches_served += 1;
@@ -394,15 +390,15 @@ pub fn local_reenable(w: &mut ProtoWorld, me: NodeId, b: BlockId) -> Time {
     debug_assert_eq!(w.access.get(me, b), Access::Read);
     w.access.set(me, b, Access::ReadWrite);
     w.nodes[me].mark_dirty(b);
-    w.stats[me].local_write_faults += 1;
+    w.count_local_fault(me, b);
     w.cfg.cost.fault_exception_ns
 }
 
-/// Release-time versioning of this interval's dirty blocks. Returns the
-/// interval's write notices. (Interval index was already ticked by the
-/// caller.)
-pub fn release_dirty(w: &mut ProtoWorld, me: NodeId) -> Vec<Notice> {
-    let dirty = std::mem::take(&mut w.nodes[me].dirty);
+/// Release-time versioning of this interval's SW-LRC dirty blocks (already
+/// taken from the node's dirty list and filtered to this protocol by the
+/// caller). Returns the interval's write notices. (Interval index was
+/// already ticked by the caller.)
+pub fn release_dirty(w: &mut ProtoWorld, me: NodeId, dirty: Vec<BlockId>) -> Vec<Notice> {
     let mut notices = std::mem::take(&mut w.sw.pending_notices[me]);
     notices.reserve(dirty.len());
     for b in dirty {
@@ -438,9 +434,7 @@ pub fn apply_notice(w: &mut ProtoWorld, me: NodeId, n: &Notice, now: Time) -> Ti
     }
     if w.sw.copy_version(me, n.block) < n.version && w.access.get(me, n.block) != Access::Invalid {
         w.access.set(me, n.block, Access::Invalid);
-        w.stats[me].invalidations += 1;
-        w.obs
-            .record(me, now, EventKind::Invalidate { block: n.block });
+        w.count_inval(me, n.block, now);
     }
     0
 }
@@ -571,7 +565,8 @@ mod tests {
         w.sw.version[0] = 2;
         w.access.set(1, 0, Access::ReadWrite);
         w.nodes[1].mark_dirty(0);
-        let notices = release_dirty(&mut w, 1);
+        let dirty = std::mem::take(&mut w.nodes[1].dirty);
+        let notices = release_dirty(&mut w, 1, dirty);
         assert_eq!(notices.len(), 1);
         assert_eq!(
             notices[0],

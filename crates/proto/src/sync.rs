@@ -57,7 +57,7 @@ pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeI
     if mgr != me {
         w.stats[me].remote_lock_acquires += 1;
     }
-    let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
+    let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + w.cfg.cost.handler_ns;
     w.send(
@@ -85,7 +85,7 @@ pub fn lock_release_start(
 ) -> Time {
     let elapsed = lrc::release_actions(w, s, me);
     let mgr = lock_manager(w, l);
-    let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
+    let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
     w.send(
@@ -115,7 +115,7 @@ pub fn barrier_arrive_start(
     w.stats[me].barriers += 1;
     let elapsed = lrc::release_actions(w, s, me);
     let mgr = barrier_manager(w, bar);
-    let vt = w.cfg.protocol.is_lrc().then(|| w.nodes[me].vt.clone());
+    let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
     w.send(
@@ -251,7 +251,7 @@ pub fn handle_bar_arrive(
     }
     let arrived = std::mem::take(&mut barrier.arrived);
     // Merge every participant's vector time.
-    let merged = if w.cfg.protocol.is_lrc() {
+    let merged = if w.has_lrc {
         let mut m = VClock::new(n);
         for (_, vt) in &arrived {
             m.merge(vt.as_ref().expect("LRC barrier arrival without vt"));

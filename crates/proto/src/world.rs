@@ -4,9 +4,9 @@ use std::collections::HashMap;
 
 use dsm_mem::{Access, AccessTable, BlockId, DataStore, HomeDirectory};
 use dsm_net::{Notify, MSG_HEADER_BYTES};
-use dsm_obs::{EventKind, Recorder};
+use dsm_obs::{EventKind, Recorder, SharingProfile};
 use dsm_sim::{NodeId, Sched, Time, World};
-use dsm_stats::Counters;
+use dsm_stats::{Counters, RegionCounters};
 
 use crate::config::{ProtoConfig, Protocol};
 use crate::hlrc::HlState;
@@ -97,6 +97,16 @@ pub struct ProtoWorld {
     pub measure_start: Time,
     /// Structured event recorder (one branch per event when disabled).
     pub obs: Recorder,
+    /// Protocol per layout region (resolved from the config at build time).
+    pub region_proto: Vec<Protocol>,
+    /// Whether any region runs an LRC protocol (drives the sync substrate's
+    /// consistency-information transport).
+    pub has_lrc: bool,
+    /// Per-region counters (faults, invalidations, traffic), summed over
+    /// nodes.
+    pub region_stats: Vec<RegionCounters>,
+    /// Exact fine-grain sharing profile (profiling runs only).
+    pub profile: Option<SharingProfile>,
 }
 
 impl ProtoWorld {
@@ -113,8 +123,12 @@ impl ProtoWorld {
                 homes.assign(b, b % n);
             }
         }
+        let region_proto: Vec<Protocol> = (0..cfg.layout.num_regions())
+            .map(|r| cfg.region_protocol(r))
+            .collect();
+        let has_lrc = region_proto.iter().any(|p| p.is_lrc());
         ProtoWorld {
-            data: DataStore::new(n, cfg.layout),
+            data: DataStore::new(n, cfg.layout.clone()),
             access: AccessTable::new(n, nb),
             homes,
             stats: vec![Counters::default(); n],
@@ -127,6 +141,10 @@ impl ProtoWorld {
             log: NoticeLog::new(n),
             measure_start: 0,
             obs: Recorder::new(n, &cfg.obs),
+            region_stats: vec![RegionCounters::default(); region_proto.len()],
+            profile: cfg.profile.then(|| SharingProfile::new(cfg.layout.size())),
+            region_proto,
+            has_lrc,
             cfg,
         }
     }
@@ -140,9 +158,62 @@ impl ProtoWorld {
         self.data.broadcast_image(image);
     }
 
-    /// Block size shorthand.
-    pub fn block_size(&self) -> usize {
-        self.cfg.layout.block_size()
+    /// Block size of block `b`'s region.
+    #[inline]
+    pub fn block_size_of(&self, b: BlockId) -> usize {
+        self.cfg.layout.block_size_of(b)
+    }
+
+    /// Index of the region containing block `b`.
+    #[inline]
+    pub fn region_of(&self, b: BlockId) -> usize {
+        self.cfg.layout.region_of_block(b)
+    }
+
+    /// The protocol governing block `b` (mixed-mode dispatch point).
+    #[inline]
+    pub fn protocol_of(&self, b: BlockId) -> Protocol {
+        self.region_proto[self.region_of(b)]
+    }
+
+    /// Count a remote fault on `b` into node stats, region stats, and the
+    /// sharing profile.
+    pub fn count_fault(&mut self, me: NodeId, b: BlockId, kind: FaultKind) {
+        let r = self.region_of(b);
+        match kind {
+            FaultKind::Read => {
+                self.stats[me].read_faults += 1;
+                self.region_stats[r].read_faults += 1;
+            }
+            FaultKind::Write => {
+                self.stats[me].write_faults += 1;
+                self.region_stats[r].write_faults += 1;
+            }
+        }
+        self.profile_fault(me, b, kind == FaultKind::Write);
+    }
+
+    /// Count a locally-resolved write fault on `b` (twinning / re-enable).
+    pub fn count_local_fault(&mut self, me: NodeId, b: BlockId) {
+        self.stats[me].local_write_faults += 1;
+        let r = self.region_of(b);
+        self.region_stats[r].local_faults += 1;
+        self.profile_fault(me, b, true);
+    }
+
+    /// Count an invalidation of `me`'s copy of `b` and record the event.
+    pub fn count_inval(&mut self, me: NodeId, b: BlockId, at: Time) {
+        self.stats[me].invalidations += 1;
+        let r = self.region_of(b);
+        self.region_stats[r].invalidations += 1;
+        self.obs.record(me, at, EventKind::Invalidate { block: b });
+    }
+
+    fn profile_fault(&mut self, me: NodeId, b: BlockId, write: bool) {
+        if let Some(p) = self.profile.as_mut() {
+            let r = self.cfg.layout.block_range(b);
+            p.note(me, r.start, r.end, write);
+        }
     }
 
     /// Ensure lock `l` exists.
@@ -181,6 +252,12 @@ impl ProtoWorld {
         st.msgs_sent += 1;
         st.ctrl_bytes += ctrl + MSG_HEADER_BYTES;
         st.data_bytes += data;
+        if let Some(b) = msg.concerns_block() {
+            let rs = &mut self.region_stats[self.cfg.layout.region_of_block(b)];
+            rs.msgs += 1;
+            rs.ctrl_bytes += ctrl + MSG_HEADER_BYTES;
+            rs.data_bytes += data;
+        }
         self.obs.record(
             from,
             depart,
@@ -423,10 +500,10 @@ impl World for ProtoWorld {
 /// flushed and home copies are current; under SC the latest copy is the
 /// exclusive owner's (else the home's).
 pub fn final_image(w: &ProtoWorld) -> Vec<u8> {
-    let layout = w.cfg.layout;
+    let layout = &w.cfg.layout;
     let mut img = vec![0u8; layout.size()];
     for b in 0..layout.num_blocks() {
-        let src = match w.cfg.protocol {
+        let src = match w.protocol_of(b) {
             Protocol::Sc => {
                 w.sc.dir(b)
                     .and_then(|d| d.owner)

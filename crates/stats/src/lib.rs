@@ -11,8 +11,10 @@
 
 pub mod agg;
 pub mod counters;
+pub mod region;
 pub mod table;
 
 pub use agg::{harmonic_mean, EfficiencyMatrix};
 pub use counters::{Counters, RunStats};
+pub use region::RegionCounters;
 pub use table::Table;

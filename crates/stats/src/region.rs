@@ -1,0 +1,108 @@
+//! Per-region event counters for mixed-mode runs.
+
+use dsm_json::Value;
+
+/// Counters attributed to one shared-memory region (summed over nodes).
+///
+/// These are the region-resolved subset of [`crate::Counters`]: faults are
+/// attributed to the region of the faulting block, and traffic to the region
+/// of the block a message concerns (sync-only messages carry no block and
+/// are not attributed).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RegionCounters {
+    /// Remote read faults on the region's blocks.
+    pub read_faults: u64,
+    /// Remote write faults on the region's blocks.
+    pub write_faults: u64,
+    /// Locally-resolved write faults (twinning / write re-enable).
+    pub local_faults: u64,
+    /// Invalidations of the region's blocks.
+    pub invalidations: u64,
+    /// Messages concerning the region's blocks.
+    pub msgs: u64,
+    /// Control bytes of those messages (headers included).
+    pub ctrl_bytes: u64,
+    /// Data payload bytes of those messages.
+    pub data_bytes: u64,
+}
+
+impl RegionCounters {
+    /// Field-wise sum.
+    pub fn add(&mut self, o: &RegionCounters) {
+        self.read_faults += o.read_faults;
+        self.write_faults += o.write_faults;
+        self.local_faults += o.local_faults;
+        self.invalidations += o.invalidations;
+        self.msgs += o.msgs;
+        self.ctrl_bytes += o.ctrl_bytes;
+        self.data_bytes += o.data_bytes;
+    }
+
+    /// Total bytes moved for this region.
+    pub fn total_traffic(&self) -> u64 {
+        self.ctrl_bytes + self.data_bytes
+    }
+
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("read_faults", self.read_faults);
+        v.set("write_faults", self.write_faults);
+        v.set("local_faults", self.local_faults);
+        v.set("invalidations", self.invalidations);
+        v.set("msgs", self.msgs);
+        v.set("ctrl_bytes", self.ctrl_bytes);
+        v.set("data_bytes", self.data_bytes);
+        v
+    }
+
+    /// Decode from a JSON object; missing fields default to zero.
+    pub fn from_json(v: &Value) -> RegionCounters {
+        let f = |name| v.u64_field(name).unwrap_or(0);
+        RegionCounters {
+            read_faults: f("read_faults"),
+            write_faults: f("write_faults"),
+            local_faults: f("local_faults"),
+            invalidations: f("invalidations"),
+            msgs: f("msgs"),
+            ctrl_bytes: f("ctrl_bytes"),
+            data_bytes: f("data_bytes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_traffic() {
+        let mut a = RegionCounters {
+            read_faults: 2,
+            ctrl_bytes: 10,
+            ..Default::default()
+        };
+        a.add(&RegionCounters {
+            read_faults: 1,
+            data_bytes: 5,
+            ..Default::default()
+        });
+        assert_eq!(a.read_faults, 3);
+        assert_eq!(a.total_traffic(), 15);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = RegionCounters {
+            read_faults: 1,
+            write_faults: 2,
+            local_faults: 3,
+            invalidations: 4,
+            msgs: 5,
+            ctrl_bytes: 6,
+            data_bytes: 7,
+        };
+        let back = RegionCounters::from_json(&Value::parse(&c.to_json().to_string()).unwrap());
+        assert_eq!(back, c);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`stats`] — counters and the paper's aggregate statistics;
 //! * [`obs`] — structured event recording, execution-time breakdowns and
 //!   the Perfetto/JSONL exporters;
+//! * [`adapt`] — sharing profiler, cost model, and the per-region adaptive
+//!   protocol × granularity policy engine;
 //! * [`json`] — the minimal JSON value model the workspace uses offline.
 //!
 //! ## Quick start
@@ -30,6 +32,7 @@
 //! println!("speedup: {:.2}", result.speedup());
 //! ```
 
+pub use dsm_adapt as adapt;
 pub use dsm_apps as apps;
 pub use dsm_core as core;
 pub use dsm_json as json;
@@ -42,5 +45,6 @@ pub use dsm_stats as stats;
 
 pub use dsm_core::{
     run_checked, run_experiment, run_parallel, run_sequential, touch_region, Dsm, DsmProgram,
-    ExperimentResult, MemImage, Notify, Program, Protocol, RunConfig,
+    ExperimentResult, MemImage, Notify, Program, Protocol, RegionHint, RegionPolicy, RegionReport,
+    RunConfig,
 };

@@ -2,7 +2,7 @@
 //! invariants, determinism, and protocol-relationship properties on the
 //! real applications.
 
-use dsm::{run_experiment, Notify, Protocol, RunConfig};
+use dsm::{run_experiment, Notify, Protocol, RegionPolicy, RunConfig};
 use dsm_apps::registry::{app_sized, AppSize};
 
 fn small(name: &str) -> dsm::Program {
@@ -132,6 +132,98 @@ fn degenerate_granularity_whole_space_in_blocks() {
         let cfg = RunConfig::new(p, 8192);
         let r = run_experiment(&cfg, small("volrend-original"));
         assert!(r.check.is_ok(), "{p:?}@8192: {:?}", r.check);
+    }
+}
+
+#[test]
+fn mixed_mode_regions_verify_and_are_deterministic() {
+    // Heterogeneous per-region policies in a single run: different
+    // protocols at different granularities must coexist without breaking
+    // the memory model (parallel result equals the sequential baseline)
+    // and without perturbing determinism across repetitions.
+    let cases: Vec<(&str, Protocol, usize, Vec<RegionPolicy>)> = vec![
+        (
+            "fft",
+            Protocol::SwLrc,
+            1024,
+            vec![
+                RegionPolicy::new("matrix0", Protocol::Sc, 256),
+                RegionPolicy::new("matrix1", Protocol::Hlrc, 4096),
+            ],
+        ),
+        (
+            "ocean-original",
+            Protocol::Sc,
+            256,
+            vec![
+                RegionPolicy::new("interior", Protocol::Hlrc, 4096),
+                RegionPolicy::new("boundary", Protocol::Sc, 256),
+            ],
+        ),
+        (
+            "volrend-rowwise",
+            Protocol::Sc,
+            64,
+            vec![
+                RegionPolicy::new("volume", Protocol::Sc, 1024),
+                RegionPolicy::new("image", Protocol::Hlrc, 4096),
+                RegionPolicy::new("queues", Protocol::SwLrc, 256),
+            ],
+        ),
+        (
+            "raytrace",
+            Protocol::Hlrc,
+            1024,
+            vec![
+                RegionPolicy::new("image", Protocol::SwLrc, 256),
+                RegionPolicy::new("queues", Protocol::Sc, 64),
+            ],
+        ),
+    ];
+    for (name, proto, block, policies) in cases {
+        let cfg = RunConfig::new(proto, block).with_region_policies(policies);
+        let a = run_experiment(&cfg, small(name));
+        assert!(a.check.is_ok(), "{name} mixed-mode: {:?}", a.check);
+        // The run really is heterogeneous: at least two distinct
+        // (protocol, granularity) combinations were active.
+        let combos: std::collections::HashSet<(&str, usize)> = a
+            .regions
+            .iter()
+            .map(|r| (r.protocol.name(), r.block))
+            .collect();
+        assert!(
+            combos.len() >= 2,
+            "{name}: expected heterogeneous regions, got {combos:?}"
+        );
+        // Bit-for-bit repeatable.
+        let b = run_experiment(&cfg, small(name));
+        assert_eq!(
+            a.stats.parallel_time_ns, b.stats.parallel_time_ns,
+            "{name}: mixed-mode run times differ across repetitions"
+        );
+        assert_eq!(
+            a.stats.totals(),
+            b.stats.totals(),
+            "{name}: mixed-mode counters differ across repetitions"
+        );
+    }
+}
+
+#[test]
+fn adaptive_runtime_verifies_on_small_apps() {
+    // The full profile -> plan -> mixed-mode pipeline through the facade.
+    for name in ["fft", "water-spatial", "barnes-original"] {
+        let (plan, r) = dsm::adapt::run_adaptive(&RunConfig::new(Protocol::Sc, 64), small(name));
+        assert!(r.check.is_ok(), "{name} adaptive: {:?}", r.check);
+        assert!(!plan.decisions.is_empty(), "{name}: no region decisions");
+        assert!(plan.uniform_ns.is_finite() && plan.uniform_ns > 0.0);
+        // barnes-original declares extra LRC synchronization; the engine
+        // must respect it and stay with SC.
+        if name == "barnes-original" {
+            for d in &plan.decisions {
+                assert_eq!(d.protocol, Protocol::Sc, "{name}: LRC chosen for {d:?}");
+            }
+        }
     }
 }
 
