@@ -1,0 +1,177 @@
+//! Simulator performance harness: events/sec as a tracked metric.
+//!
+//! Measures host-side simulator throughput on a fixed workload and compares
+//! it against the committed baseline in `BENCH_simperf.json` at the repo
+//! root, failing on a regression of more than the tolerance (default: 25%
+//! below baseline events/sec). Three measurements:
+//!
+//! * **single cell** — LU / HLRC @ 4096 (standard size), best of three
+//!   runs: the simulation hot path (event queue, diffing, protocol tables)
+//!   with no sweep-executor effects;
+//! * **mini-sweep serial** — 18 cells (lu, fft, water-nsquared × all three
+//!   protocols × {256, 4096} bytes) on one worker;
+//! * **mini-sweep parallel** — the same 18 cells on the default worker
+//!   count, asserted bit-identical to the serial results.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench --bench bench_simperf                 # measure + guard
+//! DSM_SIMPERF_WRITE=1 cargo bench --bench bench_simperf   # refresh baseline
+//! DSM_SIMPERF_TOLERANCE=0.5 ...                     # loosen the guard
+//! ```
+//!
+//! Events/sec counts processed simulation events (deterministic per
+//! configuration), so the baseline is stable across refactors that do not
+//! change modeled behavior; wall time and cells/minute are reported for
+//! context but not guarded (they swing with host load and core count).
+
+use std::time::Instant;
+
+use dsm_apps::AppSize;
+use dsm_bench::sweep::{default_jobs, run_cell_fresh, run_cells_fresh, CellSpec};
+use dsm_core::Protocol;
+use dsm_json::Value;
+
+/// The mini-sweep grid: 18 cells.
+fn mini_sweep_specs() -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for app in ["lu", "fft", "water-nsquared"] {
+        for &p in &Protocol::ALL {
+            for g in [256usize, 4096] {
+                specs.push(CellSpec::new(app, p, g));
+            }
+        }
+    }
+    specs
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_simperf.json");
+    p
+}
+
+fn main() {
+    println!("== Simulator performance (events/sec) ==\n");
+
+    // Single cell: best of three (first run warms allocator and page cache).
+    let spec = CellSpec::new("lu", Protocol::Hlrc, 4096);
+    let mut best_secs = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let cell = run_cell_fresh(&spec, AppSize::Standard);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(cell.check_err.is_none(), "single cell failed verification");
+        events = cell.stats.sim_events;
+        best_secs = best_secs.min(secs);
+    }
+    let single_eps = events as f64 / best_secs;
+    println!(
+        "single cell (lu/HLRC@4096): {events} events in {best_secs:.3}s best-of-3 \
+         = {single_eps:.0} events/sec"
+    );
+
+    // Mini-sweep, serial then parallel; must be bit-identical.
+    let specs = mini_sweep_specs();
+    let t0 = Instant::now();
+    let serial = run_cells_fresh(&specs, 1, AppSize::Standard);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let jobs = default_jobs();
+    let t0 = Instant::now();
+    let parallel = run_cells_fresh(&specs, jobs, AppSize::Standard);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert!(
+            a.check_err.is_none(),
+            "{} {}@{} failed",
+            a.app,
+            a.protocol,
+            a.block
+        );
+        assert_eq!(
+            a.stats.to_json().to_string(),
+            b.stats.to_json().to_string(),
+            "parallel sweep diverged from serial on {} {}@{}",
+            a.app,
+            a.protocol,
+            a.block
+        );
+    }
+    let sweep_events: u64 = serial.iter().map(|c| c.stats.sim_events).sum();
+    let sweep_eps = sweep_events as f64 / serial_secs;
+    let cells_per_min = specs.len() as f64 * 60.0 / parallel_secs;
+    println!(
+        "mini-sweep ({} cells, {sweep_events} events): serial {serial_secs:.3}s \
+         = {sweep_eps:.0} events/sec",
+        specs.len()
+    );
+    println!(
+        "mini-sweep parallel ({jobs} jobs): {parallel_secs:.3}s = {cells_per_min:.1} cells/min \
+         (speedup {:.2}x, results bit-identical)",
+        serial_secs / parallel_secs
+    );
+
+    // Emit / guard against the committed baseline.
+    let mut out = Value::obj();
+    out.set("single_cell", "lu/HLRC@4096 standard, best of 3");
+    out.set("single_cell_events", events);
+    out.set("single_cell_secs", format!("{best_secs:.3}").as_str());
+    out.set("single_cell_events_per_sec", single_eps as u64);
+    out.set("mini_sweep_cells", specs.len() as u64);
+    out.set("mini_sweep_events", sweep_events);
+    out.set(
+        "mini_sweep_serial_secs",
+        format!("{serial_secs:.3}").as_str(),
+    );
+    out.set(
+        "mini_sweep_parallel_secs",
+        format!("{parallel_secs:.3}").as_str(),
+    );
+    out.set("mini_sweep_jobs", jobs as u64);
+    out.set("mini_sweep_events_per_sec", sweep_eps as u64);
+    out.set("cells_per_minute", cells_per_min as u64);
+
+    let path = baseline_path();
+    if std::env::var("DSM_SIMPERF_WRITE").is_ok() {
+        std::fs::write(&path, format!("{out}\n")).expect("write baseline");
+        println!("\nwrote new baseline to {}", path.display());
+        return;
+    }
+    let tolerance: f64 = std::env::var("DSM_SIMPERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.75);
+    match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| Value::parse(&t).ok())
+    {
+        Some(base) => {
+            let base_eps =
+                base.u64_field("single_cell_events_per_sec")
+                    .expect("baseline missing single_cell_events_per_sec") as f64;
+            println!(
+                "\nguard: {single_eps:.0} events/sec vs baseline {base_eps:.0} \
+                 (floor {:.0} = {tolerance} x baseline)",
+                base_eps * tolerance
+            );
+            assert!(
+                single_eps >= base_eps * tolerance,
+                "simulator throughput regressed: {single_eps:.0} events/sec is below \
+                 {:.0} ({tolerance} x committed baseline {base_eps:.0}); if the drop is \
+                 expected, refresh with DSM_SIMPERF_WRITE=1",
+                base_eps * tolerance
+            );
+            println!("guard: ok");
+        }
+        None => {
+            println!(
+                "\nno baseline at {} — run with DSM_SIMPERF_WRITE=1 to create it",
+                path.display()
+            );
+        }
+    }
+}

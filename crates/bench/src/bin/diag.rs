@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE] [--adaptive]
+//!      [--sweep] [--jobs N]
 //! ```
 //!
 //! Human-readable tables by default; `--json` switches to JSON Lines
@@ -13,6 +14,9 @@
 //! policy engine pin a protocol × granularity per region, and reports the
 //! mixed-mode run (per-region records carry the decision, the profiled
 //! sharing statistics it was based on, and the measured counters).
+//! `--sweep` ignores PROTOCOL/BLOCK and runs the application's full
+//! protocol × granularity grid on the parallel sweep executor. `--jobs N`
+//! sets the executor's worker count (same as `DSM_BENCH_JOBS=N`).
 use dsm_adapt::{choose_policies, profile_run, ModelParams, RegionDecision};
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, ExperimentResult, Protocol, RegionReport, RunConfig};
@@ -79,26 +83,84 @@ fn print_regions(r: &ExperimentResult, decisions: &[RegionDecision]) {
     }
 }
 
+/// `--sweep`: the full protocol × granularity grid for one application on
+/// the parallel executor, with host-side throughput per cell.
+fn run_sweep(name: &str) {
+    let jobs = dsm_bench::default_jobs();
+    eprintln!("sweeping {name} ({jobs} jobs) ...");
+    let started = std::time::Instant::now();
+    let grid = dsm_bench::sweep_app(name);
+    let wall = started.elapsed();
+    println!(
+        "  {:<7} {:>6} {:>9} {:>12} {:>10}",
+        "proto", "block", "speedup", "sim events", "check"
+    );
+    let mut events = 0u64;
+    for row in &grid {
+        for cell in row {
+            events += cell.stats.sim_events;
+            println!(
+                "  {:<7} {:>6} {:>9.2} {:>12} {:>10}",
+                cell.protocol,
+                cell.block,
+                cell.speedup(),
+                cell.stats.sim_events,
+                if cell.check_err.is_none() {
+                    "ok"
+                } else {
+                    "FAIL"
+                }
+            );
+        }
+    }
+    println!(
+        "{name}: {} cells in {:.2}s wall ({} sim events; {:.0} events/sec incl. cache hits)",
+        grid.iter().map(Vec::len).sum::<usize>(),
+        wall.as_secs_f64(),
+        events,
+        events as f64 / wall.as_secs_f64().max(1e-9)
+    );
+}
+
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut json = false;
     let mut adaptive = false;
+    let mut sweep = false;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
             "--adaptive" => adaptive = true,
+            "--sweep" => sweep = true,
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--trace requires a file path");
                     std::process::exit(2);
                 }))
             }
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                // The sweep executor reads this; setting the env var keeps
+                // one source of truth with non-diag entry points.
+                std::env::set_var("DSM_BENCH_JOBS", n.to_string());
+            }
             _ => positional.push(a),
         }
     }
     let name = positional.first().map(String::as_str).unwrap_or("lu");
+    if sweep {
+        run_sweep(name);
+        return;
+    }
     let proto: Protocol = positional
         .get(1)
         .map(String::as_str)

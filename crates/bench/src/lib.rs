@@ -13,4 +13,7 @@ pub mod paper;
 pub mod report;
 pub mod sweep;
 
-pub use sweep::{run_cell, sweep_all, sweep_app, CellResult, GRANULARITIES};
+pub use sweep::{
+    default_jobs, run_cell, run_cell_fresh, run_cells, run_cells_fresh, sweep_all, sweep_app,
+    CellResult, CellSpec, GRANULARITIES,
+};

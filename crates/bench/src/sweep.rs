@@ -1,14 +1,24 @@
-//! Experiment sweeps with an on-disk result cache.
+//! Experiment sweeps with an on-disk result cache and a parallel executor.
 //!
 //! A full protocol × granularity sweep of all twelve applications takes a
 //! few minutes; several bench targets need the same cells (the fault tables
 //! reuse the speedup sweep's runs). Results are cached as JSON under
 //! `target/dsm-results/`; set `DSM_BENCH_REFRESH=1` to force re-running,
 //! and bump [`CACHE_VERSION`] when a change invalidates old results.
+//!
+//! Cells are independent deterministic simulations, so sweeps fan them out
+//! over a small hand-rolled worker pool ([`run_cells`]): results are
+//! bit-identical to a serial sweep regardless of the job count. The pool
+//! width comes from `DSM_BENCH_JOBS` (or the machine's available
+//! parallelism); cache files are written atomically (unique temp file +
+//! rename) so concurrent writers — even across processes — never tear.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use dsm_apps::AppSize;
 use dsm_core::{run_experiment, Notify, Protocol, RunConfig};
 use dsm_json::Value;
 use dsm_stats::RunStats;
@@ -16,7 +26,8 @@ use dsm_stats::RunStats;
 /// Bump when protocol or application changes invalidate cached results.
 /// v2: local access time moved into `compute_ns`; release actions split out
 /// as `proto_local_ns`/`occupancy_stolen_ns`.
-pub const CACHE_VERSION: u32 = 2;
+/// v3: `sim_events` (host-side throughput metric) added to `RunStats`.
+pub const CACHE_VERSION: u32 = 3;
 
 /// The four granularities of the study.
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
@@ -92,6 +103,118 @@ fn cache_path(app: &str, p: Protocol, g: usize, notify: Notify) -> PathBuf {
     ))
 }
 
+/// Counter making concurrent cache-file temp names unique within a process
+/// (the pid makes them unique across processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `text` to `path` atomically: a uniquely-named temp file in the same
+/// directory, then a rename. Concurrent writers of the same cell race to an
+/// identical result; readers never observe a torn file.
+fn write_atomic(path: &Path, text: &str) {
+    let _ = fs::create_dir_all(cache_dir());
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// One cell of a sweep: an (application, protocol, granularity, notify)
+/// combination.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Application name (see [`dsm_apps::all_app_names`]).
+    pub app: String,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Coherence granularity (bytes).
+    pub block: usize,
+    /// Notification mechanism.
+    pub notify: Notify,
+}
+
+impl CellSpec {
+    /// A cell under the polling notification default.
+    pub fn new(app: &str, protocol: Protocol, block: usize) -> CellSpec {
+        CellSpec {
+            app: app.to_string(),
+            protocol,
+            block,
+            notify: Notify::Polling,
+        }
+    }
+}
+
+/// Worker-pool width for sweeps: `DSM_BENCH_JOBS` if set to a positive
+/// integer, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Some(n) = std::env::var("DSM_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(i)` for every `i in 0..n` on up to `jobs` worker threads, returning
+/// results in index order. Work is claimed from a shared atomic counter;
+/// each item's result is independent of scheduling, so the output is
+/// identical to the serial (`jobs == 1`) execution.
+fn pool_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker pool left a slot unfilled"))
+        .collect()
+}
+
+/// Run one cell, bypassing the cache entirely, at the given application size.
+pub fn run_cell_fresh(spec: &CellSpec, size: AppSize) -> CellResult {
+    let program = dsm_apps::app_sized(&spec.app, size)
+        .unwrap_or_else(|| panic!("unknown application {}", spec.app));
+    let cfg = RunConfig::new(spec.protocol, spec.block).with_notify(spec.notify);
+    let r = run_experiment(&cfg, program);
+    CellResult {
+        app: spec.app.clone(),
+        protocol: spec.protocol.name().to_string(),
+        block: spec.block,
+        notify: spec.notify.name().to_string(),
+        stats: r.stats,
+        check_err: r.check.err(),
+    }
+}
+
 /// Run (or load from cache) one experiment cell.
 pub fn run_cell(app: &str, p: Protocol, g: usize, notify: Notify) -> CellResult {
     let path = cache_path(app, p, g, notify);
@@ -106,43 +229,76 @@ pub fn run_cell(app: &str, p: Protocol, g: usize, notify: Notify) -> CellResult 
             }
         }
     }
-    let program =
-        dsm_apps::registry::app(app).unwrap_or_else(|| panic!("unknown application {app}"));
-    let cfg = RunConfig::new(p, g).with_notify(notify);
-    let r = run_experiment(&cfg, program);
-    let cell = CellResult {
-        app: app.to_string(),
-        protocol: p.name().to_string(),
-        block: g,
-        notify: notify.name().to_string(),
-        stats: r.stats,
-        check_err: r.check.err(),
-    };
-    let _ = fs::create_dir_all(cache_dir());
-    let _ = fs::write(&path, cell.to_json().to_string());
+    let cell = run_cell_fresh(
+        &CellSpec {
+            app: app.to_string(),
+            protocol: p,
+            block: g,
+            notify,
+        },
+        AppSize::Standard,
+    );
+    write_atomic(&path, &cell.to_json().to_string());
     cell
+}
+
+/// Run every cell (cache-aware, standard size) across `jobs` worker threads,
+/// returning results in spec order — bit-identical to running them serially.
+pub fn run_cells(specs: &[CellSpec], jobs: usize) -> Vec<CellResult> {
+    pool_map(specs.len(), jobs, |i| {
+        let s = &specs[i];
+        run_cell(&s.app, s.protocol, s.block, s.notify)
+    })
+}
+
+/// Run every cell at the given size across `jobs` worker threads, never
+/// touching the cache (test harnesses compare fresh runs).
+pub fn run_cells_fresh(specs: &[CellSpec], jobs: usize, size: AppSize) -> Vec<CellResult> {
+    pool_map(specs.len(), jobs, |i| run_cell_fresh(&specs[i], size))
+}
+
+/// The protocol × granularity grid of specs for one application.
+fn app_grid(app: &str) -> Vec<CellSpec> {
+    Protocol::ALL
+        .iter()
+        .flat_map(|&p| GRANULARITIES.iter().map(move |&g| CellSpec::new(app, p, g)))
+        .collect()
+}
+
+/// Reshape a flat spec-ordered result list into protocol-major rows.
+fn into_rows(cells: Vec<CellResult>) -> Vec<Vec<CellResult>> {
+    let mut rows: Vec<Vec<CellResult>> = Vec::with_capacity(Protocol::ALL.len());
+    let mut it = cells.into_iter();
+    for _ in Protocol::ALL {
+        rows.push((&mut it).take(GRANULARITIES.len()).collect());
+    }
+    rows
 }
 
 /// Full protocol × granularity sweep for one application under polling.
 pub fn sweep_app(app: &str) -> Vec<Vec<CellResult>> {
-    Protocol::ALL
-        .iter()
-        .map(|&p| {
-            GRANULARITIES
-                .iter()
-                .map(|&g| run_cell(app, p, g, Notify::Polling))
-                .collect()
-        })
-        .collect()
+    into_rows(run_cells(&app_grid(app), default_jobs()))
 }
 
-/// Sweep every application (the Figure 1 grid).
+/// Sweep every application (the Figure 1 grid). All cells of all
+/// applications share one worker pool, so wide machines stay busy even when
+/// one application's grid has stragglers.
 pub fn sweep_all() -> Vec<(String, Vec<Vec<CellResult>>)> {
-    dsm_apps::registry::all_app_names()
-        .iter()
+    let apps = dsm_apps::all_app_names();
+    let specs: Vec<CellSpec> = apps.iter().flat_map(|&name| app_grid(name)).collect();
+    eprintln!(
+        "  sweeping {} cells across {} apps ({} jobs) ...",
+        specs.len(),
+        apps.len(),
+        default_jobs()
+    );
+    let mut cells = run_cells(&specs, default_jobs()).into_iter();
+    apps.iter()
         .map(|&name| {
-            eprintln!("  sweeping {name} ...");
-            (name.to_string(), sweep_app(name))
+            let grid: Vec<CellResult> = (&mut cells)
+                .take(Protocol::ALL.len() * GRANULARITIES.len())
+                .collect();
+            (name.to_string(), into_rows(grid))
         })
         .collect()
 }
@@ -162,6 +318,7 @@ mod tests {
                 per_node: vec![Default::default(); 2],
                 parallel_time_ns: 123,
                 sequential_time_ns: 456,
+                sim_events: 0,
             },
             check_err: None,
         };

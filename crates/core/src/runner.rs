@@ -7,7 +7,7 @@ use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_obs::{ObsConfig, ObsReport, SharingProfile};
 use dsm_proto::{final_image, ProtoConfig, ProtoWorld, Protocol};
-use dsm_sim::engine::{run_cluster, NodeBody, NodeCtx};
+use dsm_sim::engine::{run_cluster_counted, NodeBody, NodeCtx};
 use dsm_stats::{RegionCounters, RunStats};
 
 use crate::api::Dsm;
@@ -270,7 +270,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         })
         .collect();
 
-    let (mut world, end) = run_cluster(world, bodies);
+    let (mut world, end, sim_events) = run_cluster_counted(world, bodies);
     let obs = world.obs.take_report();
     let regions = world
         .cfg
@@ -293,6 +293,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
             per_node: world.stats.clone(),
             parallel_time_ns: end.saturating_sub(world.measure_start),
             sequential_time_ns: 0,
+            sim_events,
         },
         image: MemImage::from_bytes(final_image(&world)),
         obs,

@@ -265,6 +265,7 @@ mod tests {
             ],
             parallel_time_ns: 5000,
             sequential_time_ns: 9000,
+            sim_events: 0,
         }
     }
 

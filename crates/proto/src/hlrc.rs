@@ -8,8 +8,6 @@
 //! the home, which defers the fetch until every causally required diff has
 //! been applied.
 
-use std::collections::HashMap;
-
 use dsm_mem::{Access, BlockId};
 use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
@@ -27,37 +25,50 @@ struct Waiter {
 }
 
 /// HLRC home-side and requester-side state.
-#[derive(Debug, Default)]
+///
+/// All tables are dense `Vec`s indexed by small integer keys (block ids,
+/// node ids) — the former tuple-keyed `HashMap`s put a hash+probe on every
+/// fault and every diff arrival, which dominated the home-side hot path.
+#[derive(Debug)]
 pub struct HlState {
-    /// At the home: per block, the latest interval flushed by each writer.
-    flushed: HashMap<BlockId, HashMap<NodeId, u32>>,
+    nodes: usize,
+    n_blocks: usize,
+    /// At the home: latest interval flushed by `writer` for block `b`,
+    /// stored at `[b * nodes + writer]` as `interval + 1` (`0` = never).
+    flushed: Vec<u32>,
     /// At each node: per invalidated block, the (writer, interval) diffs the
-    /// next fetch must wait for.
-    needs: HashMap<(NodeId, BlockId), Vec<(NodeId, u32)>>,
-    /// Fetches parked at the home for missing diffs.
-    waiting: HashMap<BlockId, Vec<Waiter>>,
+    /// next fetch must wait for; indexed `[node * n_blocks + b]`.
+    needs: Vec<Vec<(NodeId, u32)>>,
+    /// Fetches parked at the home for missing diffs, per block.
+    waiting: Vec<Vec<Waiter>>,
     /// Outstanding fault kind per node (a node has at most one).
     pending_kind: Vec<Option<FaultKind>>,
 }
 
 impl HlState {
-    /// Fresh state.
-    pub fn new() -> Self {
-        HlState::default()
+    /// Fresh state for `nodes` nodes and `n_blocks` blocks.
+    pub fn new(nodes: usize, n_blocks: usize) -> Self {
+        HlState {
+            nodes,
+            n_blocks,
+            flushed: vec![0; nodes * n_blocks],
+            needs: (0..nodes * n_blocks).map(|_| Vec::new()).collect(),
+            waiting: (0..n_blocks).map(|_| Vec::new()).collect(),
+            pending_kind: vec![None; nodes],
+        }
     }
 
     fn satisfied(&self, b: BlockId, needs: &[(NodeId, u32)]) -> bool {
-        let flushed = self.flushed.get(&b);
         needs.iter().all(|&(wr, k)| {
-            flushed
-                .and_then(|f| f.get(&wr))
-                .map(|&have| have >= k)
-                .unwrap_or(false)
+            // `flushed` stores interval+1 (0 = never flushed), so
+            // "flushed interval >= k" is exactly `have > k`.
+            let have = self.flushed[b * self.nodes + wr];
+            have > k
         })
     }
 
     fn add_need(&mut self, node: NodeId, b: BlockId, writer: NodeId, interval: u32) {
-        let v = self.needs.entry((node, b)).or_default();
+        let v = &mut self.needs[node * self.n_blocks + b];
         match v.iter_mut().find(|(wr, _)| *wr == writer) {
             Some((_, k)) => *k = (*k).max(interval),
             None => v.push((writer, interval)),
@@ -74,11 +85,8 @@ pub fn start_fault(
     kind: FaultKind,
 ) {
     w.count_fault(me, b, kind);
-    if w.hl.pending_kind.len() < w.cfg.nodes {
-        w.hl.pending_kind.resize(w.cfg.nodes, None);
-    }
     w.hl.pending_kind[me] = Some(kind);
-    let needs = w.hl.needs.get(&(me, b)).cloned().unwrap_or_default();
+    let needs = w.hl.needs[me * w.hl.n_blocks + b].clone();
     let depart = s.now() + w.cfg.cost.fault_exception_ns + w.cfg.cost.handler_ns;
     let target = w
         .homes
@@ -118,10 +126,7 @@ pub fn handle_fetch(
             if w.hl.satisfied(b, &needs) {
                 serve_fetch(w, s, me, from, b, now + handler);
             } else {
-                w.hl.waiting
-                    .entry(b)
-                    .or_default()
-                    .push(Waiter { from, kind, needs });
+                w.hl.waiting[b].push(Waiter { from, kind, needs });
             }
         }
         Some(h) => {
@@ -209,7 +214,8 @@ pub fn handle_data(
         w.homes.learn(me, b, home);
     }
     w.data.copy_block(b, home, me);
-    w.hl.needs.remove(&(me, b));
+    let ni = me * w.hl.n_blocks + b;
+    w.hl.needs[ni].clear();
     let kind = w.hl.pending_kind[me]
         .take()
         .expect("HlData without a pending fault");
@@ -266,6 +272,9 @@ pub fn handle_diff(
     );
     let r = w.cfg.layout.block_range(b);
     diff.apply(&mut w.data.node_mut(me)[r]);
+    for run in diff.runs {
+        w.pool.put(run.bytes);
+    }
     w.occupy(s, me, apply_cost);
     w.stats[me].diffs_applied += 1;
     record_flush(w, b, from, interval);
@@ -274,20 +283,16 @@ pub fn handle_diff(
 
 /// Record that `writer`'s diffs through `interval` are present at the home.
 pub fn record_flush(w: &mut ProtoWorld, b: BlockId, writer: NodeId, interval: u32) {
-    let f =
-        w.hl.flushed
-            .entry(b)
-            .or_default()
-            .entry(writer)
-            .or_insert(0);
-    *f = (*f).max(interval);
+    let f = &mut w.hl.flushed[b * w.hl.nodes + writer];
+    *f = (*f).max(interval + 1);
 }
 
 /// Serve queued fetches whose requirements are now met.
 fn serve_satisfied(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId, at: Time) {
-    let Some(mut queue) = w.hl.waiting.remove(&b) else {
+    if w.hl.waiting[b].is_empty() {
         return;
-    };
+    }
+    let mut queue = std::mem::take(&mut w.hl.waiting[b]);
     let mut ready = Vec::new();
     let mut i = 0;
     while i < queue.len() {
@@ -297,9 +302,7 @@ fn serve_satisfied(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: B
             i += 1;
         }
     }
-    if !queue.is_empty() {
-        w.hl.waiting.insert(b, queue);
-    }
+    w.hl.waiting[b] = queue;
     for (k, waiter) in ready.into_iter().enumerate() {
         let _ = waiter.kind; // kind is re-read from pending_kind at the requester
         serve_fetch(
@@ -331,10 +334,11 @@ pub fn local_write_fault(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) 
 fn make_twin(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) -> Time {
     w.obs.record(me, now, EventKind::TwinCreate { block: b });
     let r = w.cfg.layout.block_range(b);
-    let twin = w.data.node(me)[r].to_vec();
-    w.nodes[me].twins.insert(b, twin);
+    let mut twin = w.pool.get();
+    twin.extend_from_slice(&w.data.node(me)[r]);
+    w.nodes[me].twins.set(b, twin);
     w.stats[me].twins_created += 1;
-    let held: u64 = w.nodes[me].twins.values().map(|t| t.len() as u64).sum();
+    let held = w.nodes[me].twins.held_bytes();
     let st = &mut w.stats[me];
     st.twin_bytes_peak = st.twin_bytes_peak.max(held);
     w.cfg.cost.twin_cost(w.block_size_of(b) as u64)
@@ -354,10 +358,11 @@ pub fn release_dirty(
     let mut notices = Vec::with_capacity(dirty.len());
     let mut elapsed: Time = 0;
     for b in dirty {
-        if let Some(twin) = w.nodes[me].twins.remove(&b) {
+        if let Some(twin) = w.nodes[me].twins.take(b) {
             elapsed += w.cfg.cost.diff_scan_cost(w.block_size_of(b) as u64);
             let r = w.cfg.layout.block_range(b);
-            let diff = Diff::create(&twin, &w.data.node(me)[r]);
+            let diff = Diff::create_pooled(&twin, &w.data.node(me)[r], &mut w.pool);
+            w.pool.put(twin);
             if w.access.get(me, b) == Access::ReadWrite {
                 w.access.set(me, b, Access::Read);
             }
@@ -431,11 +436,12 @@ pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, n: 
     w.hl.add_need(me, n.block, n.writer, n.version);
     let mut elapsed: Time = 0;
     // A dirty twin of ours must be published before we drop the copy.
-    if let Some(twin) = w.nodes[me].twins.remove(&n.block) {
+    if let Some(twin) = w.nodes[me].twins.take(n.block) {
         let bs = w.block_size_of(n.block) as u64;
         elapsed += w.cfg.cost.diff_scan_cost(bs);
         let r = w.cfg.layout.block_range(n.block);
-        let diff = Diff::create(&twin, &w.data.node(me)[r]);
+        let diff = Diff::create_pooled(&twin, &w.data.node(me)[r], &mut w.pool);
+        w.pool.put(twin);
         if !diff.is_empty() {
             let wire = diff.wire_bytes();
             w.stats[me].diffs_created += 1;
@@ -566,14 +572,11 @@ mod tests {
         w.access.set(2, 0, Access::Read);
         let cost = local_write_fault(&mut w, 2, 0, 0);
         assert!(cost > 0);
-        assert!(w.nodes[2].twins.contains_key(&0), "remote block must twin");
+        assert!(w.nodes[2].twins.has(0), "remote block must twin");
         // A home block is written in place.
         w.access.set(2, 1, Access::Read);
         local_write_fault(&mut w, 2, 1, 0);
-        assert!(
-            !w.nodes[2].twins.contains_key(&1),
-            "home block must not twin"
-        );
+        assert!(!w.nodes[2].twins.has(1), "home block must not twin");
         assert_eq!(w.nodes[2].dirty, vec![0, 1]);
     }
 
@@ -623,7 +626,7 @@ mod tests {
             },
         );
         assert_eq!(w.access.get(2, 0), Access::Invalid);
-        assert!(!w.nodes[2].twins.contains_key(&0), "twin flushed early");
+        assert!(!w.nodes[2].twins.has(0), "twin flushed early");
         // Our own uncommitted change went home as a diff.
         let evs = s.take_events();
         assert!(evs.iter().any(|(_, to, m)| *to == 1

@@ -19,6 +19,7 @@ pub mod hlrc;
 pub mod lrc;
 pub mod msg;
 pub mod ops;
+pub mod pool;
 pub mod sc;
 pub mod swlrc;
 pub mod sync;

@@ -140,7 +140,7 @@ mod tests {
             }
             other => panic!("expected LocalFault, got {other:?}"),
         }
-        assert!(w.nodes[0].twins.contains_key(&3));
+        assert!(w.nodes[0].twins.has(3));
         assert_eq!(w.access.get(0, 3), Access::ReadWrite);
         // Retry succeeds and the write lands.
         match try_write(&mut w, 0, 3 * 64, &[9], 0) {

@@ -1,0 +1,119 @@
+//! Buffer recycling for the protocol hot paths.
+//!
+//! Twin creation and diff transport are the allocation-heaviest operations
+//! in an HLRC run: every remote write fault allocates a block-sized twin,
+//! and every release allocates the diff run payloads that travel to the
+//! home. Both buffers have short, well-defined lifetimes (twin: one
+//! interval; diff run: until applied at the home), so a simple free-list
+//! pool removes nearly all of that allocator traffic.
+
+use dsm_mem::BlockId;
+
+/// Upper bound on pooled buffers; beyond this, retired buffers are dropped.
+/// The working set is bounded by the number of concurrently dirty blocks
+/// per node, which stays far below this for every paper workload.
+const MAX_POOLED: usize = 256;
+
+/// A free list of reusable byte buffers. `get` pops a cleared buffer with
+/// its old capacity intact (or a fresh empty one); `put` retires a buffer.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufPool {
+    /// Take a cleared buffer from the pool (empty, capacity preserved).
+    pub fn get(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free.len() < MAX_POOLED {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+}
+
+/// Per-node twin storage, indexed densely by block id.
+///
+/// Replaces a `HashMap<BlockId, Vec<u8>>`: block ids are small dense
+/// integers, so a `Vec` slot per block (empty = no twin) turns every
+/// lookup into an index. The table also maintains the total held bytes
+/// incrementally, so the `twin_bytes_peak` statistic no longer costs a
+/// full-map sum per twin creation.
+#[derive(Debug, Default)]
+pub struct TwinTable {
+    /// `slots[b]` is the twin of block `b`; an empty vec means no twin
+    /// (a real twin is never empty — blocks have nonzero size).
+    slots: Vec<Vec<u8>>,
+    held_bytes: u64,
+}
+
+impl TwinTable {
+    /// True if a twin of `b` is held.
+    pub fn has(&self, b: BlockId) -> bool {
+        self.slots.get(b).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Store `twin` as the twin of `b` (must not already have one).
+    pub fn set(&mut self, b: BlockId, twin: Vec<u8>) {
+        debug_assert!(!twin.is_empty(), "empty twin");
+        if self.slots.len() <= b {
+            self.slots.resize_with(b + 1, Vec::new);
+        }
+        debug_assert!(self.slots[b].is_empty(), "twin already present");
+        self.held_bytes += twin.len() as u64;
+        self.slots[b] = twin;
+    }
+
+    /// Remove and return the twin of `b`, if any.
+    pub fn take(&mut self, b: BlockId) -> Option<Vec<u8>> {
+        let s = self.slots.get_mut(b)?;
+        if s.is_empty() {
+            return None;
+        }
+        let twin = std::mem::take(s);
+        self.held_bytes -= twin.len() as u64;
+        Some(twin)
+    }
+
+    /// Total bytes currently held in twins (maintained incrementally).
+    pub fn held_bytes(&self) -> u64 {
+        self.held_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut p = BufPool::default();
+        let mut b = p.get();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = b.capacity();
+        p.put(b);
+        let b2 = p.get();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+    }
+
+    #[test]
+    fn twin_table_tracks_held_bytes() {
+        let mut t = TwinTable::default();
+        assert!(!t.has(3));
+        t.set(3, vec![0; 64]);
+        t.set(7, vec![0; 128]);
+        assert!(t.has(3));
+        assert_eq!(t.held_bytes(), 192);
+        assert_eq!(t.take(3).map(|v| v.len()), Some(64));
+        assert_eq!(t.take(3), None);
+        assert_eq!(t.held_bytes(), 128);
+        // A slot can be reused after take.
+        t.set(3, vec![0; 32]);
+        assert_eq!(t.held_bytes(), 160);
+    }
+}

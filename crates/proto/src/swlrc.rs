@@ -8,8 +8,6 @@
 //! compared against local copy versions to skip unnecessary invalidations,
 //! and read faults are serviced in one hop from the noted owner.
 
-use std::collections::HashMap;
-
 use dsm_mem::{Access, BlockId};
 use dsm_sim::{NodeId, Sched, Time};
 
@@ -43,9 +41,9 @@ pub struct SwState {
     /// Version at which the hint was learned (monotone, so forwarding
     /// chains strictly advance and terminate).
     hint_version: Vec<u32>,
-    /// Requests queued at a node awaiting its in-flight ownership:
-    /// (requester, fault kind, hops so far).
-    waiting: HashMap<(NodeId, BlockId), Vec<QueuedReq>>,
+    /// Requests queued at a node awaiting its in-flight ownership
+    /// (requester, fault kind, hops so far), indexed `[node * n_blocks + b]`.
+    waiting: Vec<Vec<QueuedReq>>,
     /// Notices for blocks whose ownership migrated away mid-interval,
     /// emitted at the old owner's next release.
     pending_notices: Vec<Vec<Notice>>,
@@ -63,7 +61,7 @@ impl SwState {
             node_version: vec![0; n * n_blocks],
             hint: vec![u16::MAX; n * n_blocks],
             hint_version: vec![0; n * n_blocks],
-            waiting: HashMap::new(),
+            waiting: (0..n * n_blocks).map(|_| Vec::new()).collect(),
             pending_notices: (0..n).map(|_| Vec::new()).collect(),
         }
     }
@@ -106,6 +104,12 @@ impl SwState {
     fn set_copy_version(&mut self, node: NodeId, b: BlockId, v: u32) {
         let i = self.idx(node, b);
         self.node_version[i] = v;
+    }
+
+    /// Number of requests queued at `node` awaiting in-flight ownership of
+    /// `b` (observability / tests).
+    pub fn waiting_len(&self, node: NodeId, b: BlockId) -> usize {
+        self.waiting[self.idx(node, b)].len()
     }
 }
 
@@ -167,10 +171,8 @@ pub fn handle_request(
         return;
     }
     if w.sw.in_transfer[b] == Some(me) {
-        w.sw.waiting
-            .entry((me, b))
-            .or_default()
-            .push((from, kind, hops));
+        let i = w.sw.idx(me, b);
+        w.sw.waiting[i].push((from, kind, hops));
         return;
     }
     let directory = w.homes.directory_node(b);
@@ -356,7 +358,9 @@ pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId,
 }
 
 fn drain_waiting(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId, at: Time) {
-    if let Some(queue) = w.sw.waiting.remove(&(me, b)) {
+    let qi = w.sw.idx(me, b);
+    if !w.sw.waiting[qi].is_empty() {
+        let queue = std::mem::take(&mut w.sw.waiting[qi]);
         let handler = w.cfg.cost.handler_ns;
         for (i, (from, kind, hops)) in queue.into_iter().enumerate() {
             // Requests are re-presented to ourselves in arrival order,
@@ -520,7 +524,7 @@ mod tests {
         let (mut w, mut s) = setup();
         w.sw.in_transfer[0] = Some(2);
         handle_request(&mut w, &mut s, 2, 3, 0, FaultKind::Read, 1);
-        assert_eq!(w.sw.waiting.get(&(2, 0)).map(Vec::len), Some(1));
+        assert_eq!(w.sw.waiting_len(2, 0), 1);
         assert!(s.take_events().is_empty());
     }
 

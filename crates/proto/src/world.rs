@@ -12,6 +12,7 @@ use crate::config::{ProtoConfig, Protocol};
 use crate::hlrc::HlState;
 use crate::lrc::NoticeLog;
 use crate::msg::{Envelope, FaultKind, ProtoMsg};
+use crate::pool::{BufPool, TwinTable};
 use crate::sc::ScState;
 use crate::swlrc::SwState;
 use crate::sync::{BarrierState, LockState};
@@ -29,7 +30,7 @@ pub struct NodeRt {
     /// Blocks dirtied in the current interval (LRC), deduplicated.
     pub dirty: Vec<BlockId>,
     /// HLRC: twins of blocks dirtied this interval (remote blocks only).
-    pub twins: HashMap<BlockId, Vec<u8>>,
+    pub twins: TwinTable,
     /// HLRC: blocks whose diff was flushed early (mid-interval, on an
     /// incoming notice) and must still be announced at the next release.
     pub flushed_early: Vec<BlockId>,
@@ -48,7 +49,7 @@ impl NodeRt {
             vt: VClock::new(n),
             intr_disabled_until: 0,
             dirty: Vec::new(),
-            twins: HashMap::new(),
+            twins: TwinTable::default(),
             flushed_early: Vec::new(),
             pending_fault: None,
             fault_poisoned: false,
@@ -107,6 +108,8 @@ pub struct ProtoWorld {
     pub region_stats: Vec<RegionCounters>,
     /// Exact fine-grain sharing profile (profiling runs only).
     pub profile: Option<SharingProfile>,
+    /// Recycled byte buffers for twins and diff payloads.
+    pub pool: BufPool,
 }
 
 impl ProtoWorld {
@@ -135,7 +138,7 @@ impl ProtoWorld {
             nodes: (0..n).map(|_| NodeRt::new(n)).collect(),
             sc: ScState::new(nb),
             sw: SwState::new(n, nb),
-            hl: HlState::new(),
+            hl: HlState::new(n, nb),
             locks: Vec::new(),
             barriers: HashMap::new(),
             log: NoticeLog::new(n),
@@ -145,6 +148,7 @@ impl ProtoWorld {
             profile: cfg.profile.then(|| SharingProfile::new(cfg.layout.size())),
             region_proto,
             has_lrc,
+            pool: BufPool::default(),
             cfg,
         }
     }
@@ -502,21 +506,33 @@ impl World for ProtoWorld {
 pub fn final_image(w: &ProtoWorld) -> Vec<u8> {
     let layout = &w.cfg.layout;
     let mut img = vec![0u8; layout.size()];
-    for b in 0..layout.num_blocks() {
-        let src = match w.protocol_of(b) {
-            Protocol::Sc => {
-                w.sc.dir(b)
-                    .and_then(|d| d.owner)
-                    .unwrap_or_else(|| w.route_home(b))
-            }
-            Protocol::SwLrc => {
-                w.sw.authoritative(b)
-                    .unwrap_or_else(|| w.homes.directory_node(b))
-            }
-            Protocol::Hlrc => w.route_home(b),
-        };
-        let r = layout.block_range(b);
-        img[r.clone()].copy_from_slice(&w.data.node(src)[r]);
+    let authoritative = |b: BlockId| match w.protocol_of(b) {
+        Protocol::Sc => {
+            w.sc.dir(b)
+                .and_then(|d| d.owner)
+                .unwrap_or_else(|| w.route_home(b))
+        }
+        Protocol::SwLrc => {
+            w.sw.authoritative(b)
+                .unwrap_or_else(|| w.homes.directory_node(b))
+        }
+        Protocol::Hlrc => w.route_home(b),
+    };
+    // Consecutive blocks are usually homed at the same node (first-touch on
+    // contiguous per-node partitions); coalesce runs of same-source blocks
+    // into one contiguous copy each instead of a per-block memcpy.
+    let nb = layout.num_blocks();
+    let mut b = 0;
+    while b < nb {
+        let src = authoritative(b);
+        let start = layout.block_range(b).start;
+        let mut end = layout.block_range(b).end;
+        b += 1;
+        while b < nb && authoritative(b) == src && layout.block_range(b).start == end {
+            end = layout.block_range(b).end;
+            b += 1;
+        }
+        img[start..end].copy_from_slice(&w.data.node(src)[start..end]);
     }
     img
 }

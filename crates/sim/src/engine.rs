@@ -1,9 +1,8 @@
-//! The discrete-event engine: event heap, node scheduling, thread hand-off.
+//! The discrete-event engine: event queue, node scheduling, thread hand-off.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use crate::queue::BucketQueue;
 use crate::time::Time;
 use crate::NodeId;
 
@@ -43,34 +42,10 @@ enum Status {
 
 enum EventKind<M> {
     /// Hand control back to a node. `gen` guards against stale entries left
-    /// in the heap after the node's resume time was pushed back.
+    /// in the queue after the node's resume time was pushed back.
     Resume { node: NodeId, gen: u64 },
     /// Deliver a message to the world, addressed at a node.
     Msg { to: NodeId, msg: M },
-}
-
-struct Event<M> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 struct NodeSlot {
@@ -86,10 +61,12 @@ struct NodeSlot {
 /// node contexts as [`Sched`].
 pub struct SchedInner<M> {
     now: Time,
-    seq: u64,
-    heap: BinaryHeap<Event<M>>,
+    queue: BucketQueue<EventKind<M>>,
     nodes: Vec<NodeSlot>,
     done_count: usize,
+    /// Events popped and processed (resumes, stale resumes, deliveries) —
+    /// the simulator's native unit of work, deterministic per run.
+    events: u64,
 }
 
 /// Handle given to [`World::deliver`] and [`NodeCtx::world`] closures for
@@ -113,10 +90,10 @@ impl<M> SchedInner<M> {
     /// messages and `None` payloads for resumes.
     pub fn take_events(&mut self) -> Vec<(Time, NodeId, Option<M>)> {
         let mut out = Vec::new();
-        while let Some(ev) = self.heap.pop() {
-            match ev.kind {
-                EventKind::Msg { to, msg } => out.push((ev.at, to, Some(msg))),
-                EventKind::Resume { node, .. } => out.push((ev.at, node, None)),
+        while let Some((at, kind)) = self.queue.pop() {
+            match kind {
+                EventKind::Msg { to, msg } => out.push((at, to, Some(msg))),
+                EventKind::Resume { node, .. } => out.push((at, node, None)),
             }
         }
         out
@@ -131,8 +108,7 @@ impl<M> SchedInner<M> {
     fn new(n: usize) -> Self {
         SchedInner {
             now: 0,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            queue: BucketQueue::new(),
             nodes: (0..n)
                 .map(|_| NodeSlot {
                     status: Status::Blocked, // set properly at start
@@ -141,6 +117,7 @@ impl<M> SchedInner<M> {
                 })
                 .collect(),
             done_count: 0,
+            events: 0,
         }
     }
 
@@ -154,10 +131,22 @@ impl<M> SchedInner<M> {
         self.nodes.len()
     }
 
+    /// Total events processed so far (deterministic for a given program).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     fn push(&mut self, at: Time, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.queue.push(at, kind);
+    }
+
+    /// Pop the next event, counting it as processed simulator work.
+    fn next_event(&mut self) -> Option<(Time, EventKind<M>)> {
+        let ev = self.queue.pop();
+        if ev.is_some() {
+            self.events += 1;
+        }
+        ev
     }
 
     /// Post a message for delivery to node `to` at virtual time `at`.
@@ -360,7 +349,7 @@ impl<W: World> NodeCtx<W> {
     /// to another node and parks on its condvar.
     fn drive(&self, mut g: MutexGuard<'_, SimState<W>>) {
         loop {
-            let ev = match g.sched.heap.pop() {
+            let (at, kind) = match g.sched.next_event() {
                 Some(ev) => ev,
                 None => {
                     // Nothing left to do. If this node is blocked with no
@@ -374,10 +363,10 @@ impl<W: World> NodeCtx<W> {
                     panic!("simulation deadlock: event queue empty, node states {statuses:?}");
                 }
             };
-            debug_assert!(ev.at >= g.sched.now);
-            match ev.kind {
+            debug_assert!(at >= g.sched.now);
+            match kind {
                 EventKind::Msg { to, msg } => {
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     let mut world = g.world.take().expect("world re-entrancy");
                     world.deliver(&mut g.sched, to, msg);
                     g.world = Some(world);
@@ -387,10 +376,10 @@ impl<W: World> NodeCtx<W> {
                         continue; // superseded by a later delay/wake
                     }
                     match g.sched.nodes[node].status {
-                        Status::Ready { at } => debug_assert_eq!(at, ev.at),
+                        Status::Ready { at: r } => debug_assert_eq!(r, at),
                         other => panic!("resume for node {node} in state {other:?}"),
                     }
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     g.sched.nodes[node].status = Status::Running;
                     if node == self.node {
                         return;
@@ -424,9 +413,9 @@ impl<W: World> NodeCtx<W> {
         if g.sched.done_count == g.sched.nodes.len() {
             // Drain in-flight messages so their effects (stats, traffic) are
             // accounted for even when every node body has returned.
-            while let Some(ev) = g.sched.heap.pop() {
-                if let EventKind::Msg { to, msg } = ev.kind {
-                    g.sched.now = ev.at;
+            while let Some((at, kind)) = g.sched.next_event() {
+                if let EventKind::Msg { to, msg } = kind {
+                    g.sched.now = at;
                     let mut world = g.world.take().expect("world re-entrancy");
                     world.deliver(&mut g.sched, to, msg);
                     g.world = Some(world);
@@ -437,7 +426,7 @@ impl<W: World> NodeCtx<W> {
         }
         // Drive until we can hand off (or everything is drained).
         loop {
-            let ev = match g.sched.heap.pop() {
+            let (at, kind) = match g.sched.next_event() {
                 Some(ev) => ev,
                 None => {
                     // Remaining nodes must all be done or this is a deadlock.
@@ -460,9 +449,9 @@ impl<W: World> NodeCtx<W> {
                     return;
                 }
             };
-            match ev.kind {
+            match kind {
                 EventKind::Msg { to, msg } => {
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     let mut world = g.world.take().expect("world re-entrancy");
                     world.deliver(&mut g.sched, to, msg);
                     g.world = Some(world);
@@ -471,7 +460,7 @@ impl<W: World> NodeCtx<W> {
                     if g.sched.nodes[node].gen != gen {
                         continue;
                     }
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     g.sched.nodes[node].status = Status::Running;
                     self.shared.node_cvs[node].notify_one();
                     return; // hand off and exit this thread
@@ -487,6 +476,13 @@ impl<W: World> NodeCtx<W> {
 /// Returns the world and the final virtual time (the maximum over all node
 /// completion times and message deliveries).
 pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
+    let (w, t, _) = run_cluster_counted(world, bodies);
+    (w, t)
+}
+
+/// [`run_cluster`] plus the number of simulator events processed — the
+/// denominator of the events/sec throughput metric.
+pub fn run_cluster_counted<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time, u64) {
     let n = bodies.len();
     assert!(n > 0, "cluster needs at least one node");
     let mut sched = SchedInner::new(n);
@@ -562,10 +558,10 @@ pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
         };
         // Process leading events until the first Resume hands control over.
         loop {
-            let ev = g.sched.heap.pop().expect("startup events");
-            match ev.kind {
+            let (at, kind) = g.sched.next_event().expect("startup events");
+            match kind {
                 EventKind::Msg { to, msg } => {
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     let mut world = g.world.take().expect("world");
                     world.deliver(&mut g.sched, to, msg);
                     g.world = Some(world);
@@ -574,7 +570,7 @@ pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
                     if g.sched.nodes[node].gen != gen {
                         continue;
                     }
-                    g.sched.now = ev.at;
+                    g.sched.now = at;
                     g.sched.nodes[node].status = Status::Running;
                     shared.node_cvs[node].notify_one();
                     break;
@@ -608,7 +604,8 @@ pub fn run_cluster<W: World>(world: W, bodies: Vec<NodeBody<W>>) -> (W, Time) {
         Err(e) => e.into_inner(),
     };
     let t = g.sched.now;
-    (g.world.take().expect("world"), t)
+    let events = g.sched.events;
+    (g.world.take().expect("world"), t, events)
 }
 
 #[cfg(test)]

@@ -22,9 +22,10 @@
 //! whichever thread is currently driving the event loop.
 
 pub mod engine;
+pub mod queue;
 pub mod time;
 
-pub use engine::{run_cluster, NodeCtx, Sched, World};
+pub use engine::{run_cluster, run_cluster_counted, NodeCtx, Sched, World};
 pub use time::{Time, MICROS, MILLIS, SECS};
 
 /// Index of a simulated cluster node, `0..nodes`.

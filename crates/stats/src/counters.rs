@@ -138,6 +138,10 @@ pub struct RunStats {
     pub parallel_time_ns: u64,
     /// Modeled time of the sequential execution of the same program.
     pub sequential_time_ns: u64,
+    /// Simulator events processed to produce this run (a host-side
+    /// throughput metric — not part of the modeled results; deterministic
+    /// for a given configuration, so cached results stay comparable).
+    pub sim_events: u64,
 }
 
 impl RunStats {
@@ -167,6 +171,7 @@ impl RunStats {
         );
         v.set("parallel_time_ns", self.parallel_time_ns);
         v.set("sequential_time_ns", self.sequential_time_ns);
+        v.set("sim_events", self.sim_events);
         v
     }
 
@@ -182,6 +187,8 @@ impl RunStats {
             per_node,
             parallel_time_ns: v.u64_field("parallel_time_ns")?,
             sequential_time_ns: v.u64_field("sequential_time_ns")?,
+            // Absent in pre-v3 cached results: default to 0.
+            sim_events: v.u64_field("sim_events").unwrap_or(0),
         })
     }
 }
@@ -233,6 +240,7 @@ mod tests {
             per_node: vec![Counters::default()],
             parallel_time_ns: 250,
             sequential_time_ns: 1000,
+            sim_events: 0,
         };
         assert!((s.speedup() - 4.0).abs() < 1e-12);
     }
@@ -248,6 +256,7 @@ mod tests {
                 .collect(),
             parallel_time_ns: 1,
             sequential_time_ns: 1,
+            sim_events: 0,
         };
         assert_eq!(s.totals().write_faults, 6);
     }
@@ -268,6 +277,7 @@ mod tests {
             per_node: vec![all(1), all(2), all(4)],
             parallel_time_ns: 1,
             sequential_time_ns: 1,
+            sim_events: 0,
         };
         let t = s.totals().to_json();
         for name in Counters::FIELD_NAMES {
@@ -282,6 +292,7 @@ mod tests {
             per_node: Vec::new(),
             parallel_time_ns: 0,
             sequential_time_ns: 1000,
+            sim_events: 0,
         };
         assert_eq!(s.speedup(), 0.0);
         assert_eq!(s.totals(), Counters::default());
@@ -319,6 +330,7 @@ mod tests {
             ],
             parallel_time_ns: 123,
             sequential_time_ns: 456,
+            sim_events: 0,
         };
         let text = s.to_json().to_string();
         let back = RunStats::from_json(&Value::parse(&text).unwrap()).unwrap();
