@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE] [--adaptive]
-//!      [--sweep] [--jobs N]
+//!      [--sweep] [--jobs N] [--fabric SPEC]
 //! ```
 //!
 //! Human-readable tables by default; `--json` switches to JSON Lines
@@ -17,9 +17,12 @@
 //! `--sweep` ignores PROTOCOL/BLOCK and runs the application's full
 //! protocol × granularity grid on the parallel sweep executor. `--jobs N`
 //! sets the executor's worker count (same as `DSM_BENCH_JOBS=N`).
+//! `--fabric SPEC` selects the network fabric model (`ideal`, `contended`,
+//! or `faulty[,seed=..,drop=..,...]`; same grammar as the `DSM_FABRIC`
+//! environment variable, which the flag overrides).
 use dsm_adapt::{choose_policies, profile_run, ModelParams, RegionDecision};
 use dsm_apps::registry::app;
-use dsm_core::{run_experiment, ExperimentResult, Protocol, RegionReport, RunConfig};
+use dsm_core::{run_experiment, ExperimentResult, FabricConfig, Protocol, RegionReport, RunConfig};
 use dsm_json::Value;
 use dsm_obs::{chrome_trace, jsonl_metrics, TimeBreakdown};
 
@@ -128,6 +131,7 @@ fn main() {
     let mut adaptive = false;
     let mut sweep = false;
     let mut trace_path: Option<String> = None;
+    let mut fabric_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -137,6 +141,12 @@ fn main() {
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                }))
+            }
+            "--fabric" | "--faults" => {
+                fabric_spec = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--fabric requires a spec (ideal|contended|faulty[,k=v,...])");
                     std::process::exit(2);
                 }))
             }
@@ -175,8 +185,20 @@ fn main() {
         .unwrap();
 
     let program = app(name).unwrap();
+    // Flag wins over DSM_FABRIC; both share the same spec grammar.
+    let fabric = match (fabric_spec, FabricConfig::from_env()) {
+        (Some(spec), _) => FabricConfig::parse(&spec),
+        (None, Some(env)) => env,
+        (None, None) => Ok(FabricConfig::ideal()),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("bad fabric spec: {e}");
+        std::process::exit(2);
+    });
     let mut decisions: Vec<RegionDecision> = Vec::new();
-    let mut cfg = RunConfig::new(proto, block).with_profile();
+    let mut cfg = RunConfig::new(proto, block)
+        .with_profile()
+        .with_fabric(fabric);
     if adaptive {
         let data = profile_run(&program);
         let plan = choose_policies(&program, &data, &cfg, &ModelParams::default());
@@ -207,6 +229,14 @@ fn main() {
         head.set("block", cfg.block_size);
         head.set("speedup", r.speedup());
         head.set("check_ok", r.check.is_ok());
+        let mut fab = Value::obj();
+        fab.set("contended", cfg.fabric.ni.is_some());
+        fab.set("reliable", cfg.fabric.reliable());
+        if let Some(f) = &cfg.fabric.faults {
+            fab.set("seed", f.seed);
+            fab.set("drop_ppm", u64::from(f.drop_ppm));
+        }
+        head.set("fabric", fab);
         println!("{head}");
         for reg in &r.regions {
             let d = decisions.iter().find(|d| d.profile.name == reg.name);
@@ -245,6 +275,20 @@ fn main() {
         t.diffs_created,
         t.write_notices_sent
     );
+    if !cfg.fabric.is_ideal() {
+        println!(
+            "  fabric: frames={} retries={} exhausted={} drops={} dups={} dup_drops={} \
+             acks={} queue={:.2}ms",
+            t.fabric_frames,
+            t.fabric_retries,
+            t.fabric_exhausted,
+            t.fabric_drops,
+            t.fabric_dups,
+            t.fabric_dup_drops,
+            t.fabric_acks,
+            t.fabric_queue_ns as f64 / 1e6
+        );
+    }
     print_regions(&r, &decisions);
     // Average the paper-style breakdown over the cluster.
     let nodes = r.stats.per_node.len().max(1);

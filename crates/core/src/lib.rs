@@ -28,6 +28,7 @@ pub use runner::{
 pub use seq::SeqDsm;
 pub use thread::DsmThread;
 
+pub use dsm_fabric::{FabricConfig, FaultPlan, NiModel, RetryPolicy};
 pub use dsm_net::{CostModel, LatencyModel, Notify};
 pub use dsm_proto::{ProtoConfig, Protocol};
 pub use dsm_stats::{Counters, RunStats};

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use dsm_fabric::FabricConfig;
 use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_obs::{ObsConfig, ObsReport, SharingProfile};
@@ -65,6 +66,10 @@ pub struct RunConfig {
     pub first_touch: bool,
     /// Observability: event recording configuration.
     pub obs: ObsConfig,
+    /// Network fabric model: NI occupancy, contention, fault injection and
+    /// retransmission. The default ([`FabricConfig::ideal`]) reproduces the
+    /// analytic fire-and-forget network bit-for-bit.
+    pub fabric: FabricConfig,
 }
 
 impl RunConfig {
@@ -81,6 +86,7 @@ impl RunConfig {
             latency: LatencyModel::default(),
             first_touch: true,
             obs: ObsConfig::default(),
+            fabric: FabricConfig::ideal(),
         }
     }
 
@@ -117,6 +123,12 @@ impl RunConfig {
     /// Same configuration with full event recording enabled.
     pub fn with_recording(mut self) -> Self {
         self.obs = ObsConfig::recording();
+        self
+    }
+
+    /// Same configuration with a different network fabric model.
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
         self
     }
 }
@@ -244,6 +256,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         poll_inflation_pct: program.poll_inflation_pct(),
         first_touch: cfg.first_touch,
         obs: cfg.obs.clone(),
+        fabric: cfg.fabric.clone(),
     };
     let mut world = ProtoWorld::new(pcfg);
     let mut golden = MemImage::new(size);
@@ -271,6 +284,14 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         .collect();
 
     let (mut world, end, sim_events) = run_cluster_counted(world, bodies);
+    // Under a reliable fabric the engine keeps advancing through drained
+    // retransmission timers after the last node finishes; the application
+    // quiesced at the last App delivery, not at the engine's end time.
+    let end = if cfg.fabric.reliable() {
+        world.quiesce.max(world.measure_start).min(end)
+    } else {
+        end
+    };
     let obs = world.obs.take_report();
     let regions = world
         .cfg

@@ -34,8 +34,8 @@ impl std::str::FromStr for Notify {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
-            "polling" | "poll" => Ok(Notify::Polling),
-            "interrupt" | "intr" => Ok(Notify::Interrupt),
+            "polling" | "poll" | "polled" => Ok(Notify::Polling),
+            "interrupt" | "intr" | "interrupts" => Ok(Notify::Interrupt),
             other => Err(format!("unknown notification mechanism: {other}")),
         }
     }
@@ -55,6 +55,8 @@ mod tests {
     fn parses_names() {
         assert_eq!("polling".parse::<Notify>().unwrap(), Notify::Polling);
         assert_eq!("INTR".parse::<Notify>().unwrap(), Notify::Interrupt);
+        assert_eq!("polled".parse::<Notify>().unwrap(), Notify::Polling);
+        assert_eq!("interrupts".parse::<Notify>().unwrap(), Notify::Interrupt);
         assert!("carrier-pigeon".parse::<Notify>().is_err());
     }
 

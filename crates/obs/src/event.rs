@@ -113,11 +113,25 @@ pub enum EventKind {
         /// Length of the advanced segment in virtual ns.
         dur: u64,
     },
+    /// The fabric retransmitted an unacknowledged frame from this node.
+    Retransmit {
+        /// Destination node of the frame.
+        to: usize,
+        /// Channel sequence number of the frame.
+        seq: u64,
+        /// Retransmission attempt (1 = first retry).
+        attempt: u32,
+    },
+    /// A frame waited behind a busy NI engine; `dur` is the queuing delay.
+    NetQueue {
+        /// Queuing delay in virtual ns.
+        dur: u64,
+    },
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-kind count arrays).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Index of [`EventKind::FaultBegin`] in count arrays.
     pub const IDX_FAULT_BEGIN: usize = 0;
@@ -147,6 +161,10 @@ impl EventKind {
     pub const IDX_BARRIER_WAIT: usize = 12;
     /// Index of [`EventKind::Advance`].
     pub const IDX_ADVANCE: usize = 13;
+    /// Index of [`EventKind::Retransmit`].
+    pub const IDX_RETRANSMIT: usize = 14;
+    /// Index of [`EventKind::NetQueue`].
+    pub const IDX_NET_QUEUE: usize = 15;
 
     /// Kind names, aligned with [`EventKind::index`].
     pub const NAMES: [&'static str; Self::COUNT] = [
@@ -164,6 +182,8 @@ impl EventKind {
         "lock_wait",
         "barrier_wait",
         "advance",
+        "retransmit",
+        "net_queue",
     ];
 
     /// Dense index of this kind, for count arrays.
@@ -183,6 +203,8 @@ impl EventKind {
             EventKind::LockWait { .. } => Self::IDX_LOCK_WAIT,
             EventKind::BarrierWait { .. } => Self::IDX_BARRIER_WAIT,
             EventKind::Advance { .. } => Self::IDX_ADVANCE,
+            EventKind::Retransmit { .. } => Self::IDX_RETRANSMIT,
+            EventKind::NetQueue { .. } => Self::IDX_NET_QUEUE,
         }
     }
 
@@ -215,7 +237,8 @@ impl EventKind {
             | EventKind::LocalFault { dur, .. }
             | EventKind::LockWait { dur, .. }
             | EventKind::BarrierWait { dur, .. }
-            | EventKind::Advance { dur } => Some(dur),
+            | EventKind::Advance { dur }
+            | EventKind::NetQueue { dur } => Some(dur),
             _ => None,
         }
     }
@@ -264,6 +287,10 @@ impl EventKind {
                 format!("barrier_wait barrier={barrier} wait={dur}ns")
             }
             EventKind::Advance { dur } => format!("advance dur={dur}ns"),
+            EventKind::Retransmit { to, seq, attempt } => {
+                format!("retransmit to=n{to} seq={seq} attempt={attempt}")
+            }
+            EventKind::NetQueue { dur } => format!("net_queue wait={dur}ns"),
         }
     }
 }
@@ -320,6 +347,12 @@ mod tests {
             EventKind::LockWait { lock: 0, dur: 5 },
             EventKind::BarrierWait { barrier: 0, dur: 5 },
             EventKind::Advance { dur: 5 },
+            EventKind::Retransmit {
+                to: 1,
+                seq: 4,
+                attempt: 1,
+            },
+            EventKind::NetQueue { dur: 5 },
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);
         for (i, k) in kinds.iter().enumerate() {

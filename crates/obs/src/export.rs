@@ -135,7 +135,12 @@ fn args_json(kind: &EventKind) -> Value {
         EventKind::BarrierWait { barrier, .. } => {
             v.set("barrier", barrier);
         }
-        EventKind::Interrupt | EventKind::Advance { .. } => {}
+        EventKind::Retransmit { to, seq, attempt } => {
+            v.set("to", to);
+            v.set("seq", seq);
+            v.set("attempt", u64::from(attempt));
+        }
+        EventKind::Interrupt | EventKind::Advance { .. } | EventKind::NetQueue { .. } => {}
     }
     v
 }
@@ -167,6 +172,7 @@ fn node_line(node: usize, rec: &NodeObs, stats: &RunStats) -> Value {
     hists.set("fault_ns", rec.fault_ns.to_json());
     hists.set("msg_bytes", rec.msg_bytes.to_json());
     hists.set("diff_bytes", rec.diff_bytes.to_json());
+    hists.set("queue_ns", rec.queue_ns.to_json());
     v.set("hists", hists);
     v
 }

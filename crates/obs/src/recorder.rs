@@ -52,6 +52,8 @@ struct NodeRec {
     msg_bytes: Hist,
     /// Created diff payload sizes (bytes).
     diff_bytes: Hist,
+    /// Fabric NI queuing delays (ns).
+    queue_ns: Hist,
     /// Virtual time when measurement began on this node.
     begin_ns: u64,
     /// Virtual time when this node finished its measured region.
@@ -122,6 +124,7 @@ impl Recorder {
             EventKind::FaultEnd { dur, .. } => rec.fault_ns.add(dur),
             EventKind::MsgSend { ctrl, data, .. } => rec.msg_bytes.add(ctrl + data),
             EventKind::DiffCreate { bytes, .. } => rec.diff_bytes.add(bytes),
+            EventKind::NetQueue { dur } => rec.queue_ns.add(dur),
             _ => {}
         }
         if self.store_events {
@@ -151,6 +154,7 @@ impl Recorder {
         rec.fault_ns.reset();
         rec.msg_bytes.reset();
         rec.diff_bytes.reset();
+        rec.queue_ns.reset();
         rec.begin_ns = ts;
         rec.end_ns = ts;
     }
@@ -176,6 +180,7 @@ impl Recorder {
                     fault_ns: rec.fault_ns,
                     msg_bytes: rec.msg_bytes,
                     diff_bytes: rec.diff_bytes,
+                    queue_ns: rec.queue_ns,
                     begin_ns: rec.begin_ns,
                     end_ns: rec.end_ns,
                 }
@@ -201,6 +206,8 @@ pub struct NodeObs {
     pub msg_bytes: Hist,
     /// Created diff payload size histogram (bytes).
     pub diff_bytes: Hist,
+    /// Fabric NI queuing delay histogram (ns); empty on the ideal fabric.
+    pub queue_ns: Hist,
     /// Virtual time when the measured region began on this node.
     pub begin_ns: u64,
     /// Virtual time when the measured region ended on this node.

@@ -1,5 +1,6 @@
 //! Protocol/run configuration.
 
+use dsm_fabric::FabricConfig;
 use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_obs::ObsConfig;
@@ -81,6 +82,10 @@ pub struct ProtoConfig {
     /// Record a complete fine-grain sharing profile (64-byte units) for the
     /// adaptive policy engine. Unlike the event rings this never drops.
     pub profile: bool,
+    /// Network fabric model (NI queuing, fault injection, retry). The
+    /// default — [`FabricConfig::ideal`] — reproduces the analytic
+    /// fire-and-forget send bit-for-bit.
+    pub fabric: FabricConfig,
 }
 
 impl ProtoConfig {
@@ -100,6 +105,7 @@ impl ProtoConfig {
             obs: ObsConfig::default(),
             region_protocols: Vec::new(),
             profile: false,
+            fabric: FabricConfig::ideal(),
         }
     }
 

@@ -13,7 +13,7 @@ use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::diff::Diff;
-use crate::msg::{Envelope, FaultKind, Notice, ProtoMsg};
+use crate::msg::{FaultKind, Notice, Packet, ProtoMsg};
 use crate::world::ProtoWorld;
 
 /// A fetch queued at the home until the required diffs arrive.
@@ -79,7 +79,7 @@ impl HlState {
 /// Node-side fault entry point: fetch the block from its home.
 pub fn start_fault(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     kind: FaultKind,
@@ -112,7 +112,7 @@ pub fn start_fault(
 /// Fetch request at the home (or directory / stale target).
 pub fn handle_fetch(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -179,7 +179,7 @@ pub fn handle_fetch(
 
 fn serve_fetch(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -203,7 +203,7 @@ fn serve_fetch(
 /// Block data at the requester: install access (twinning on write faults).
 pub fn handle_data(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     home: NodeId,
@@ -236,7 +236,7 @@ pub fn handle_data(
 }
 
 /// Home-claim confirmation at the first writer.
-pub fn handle_now_home(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
+pub fn handle_now_home(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId) {
     w.homes.learn(me, b, me);
     let kind = w.hl.pending_kind[me]
         .take()
@@ -253,7 +253,7 @@ pub fn handle_now_home(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, 
 /// Diff arriving at the home: apply it and serve any now-satisfied fetches.
 pub fn handle_diff(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -288,7 +288,7 @@ pub fn record_flush(w: &mut ProtoWorld, b: BlockId, writer: NodeId, interval: u3
 }
 
 /// Serve queued fetches whose requirements are now met.
-fn serve_satisfied(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId, at: Time) {
+fn serve_satisfied(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId, at: Time) {
     if w.hl.waiting[b].is_empty() {
         return;
     }
@@ -350,7 +350,7 @@ fn make_twin(w: &mut ProtoWorld, me: NodeId, b: BlockId, now: Time) -> Time {
 /// flush. Returns (notices, local processing time).
 pub fn release_dirty(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     interval: u32,
     dirty: Vec<BlockId>,
@@ -431,7 +431,7 @@ pub fn release_dirty(
 
 /// Acquire-time notice application: record the requirement and invalidate
 /// the local copy (flushing our own concurrent dirty twin first).
-pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, n: &Notice) -> Time {
+pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, n: &Notice) -> Time {
     debug_assert_ne!(n.writer, me);
     w.hl.add_need(me, n.block, n.writer, n.version);
     let mut elapsed: Time = 0;
@@ -489,7 +489,7 @@ mod tests {
     use dsm_net::Notify;
     use dsm_sim::engine::SchedInner;
 
-    fn setup() -> (ProtoWorld, SchedInner<Envelope>) {
+    fn setup() -> (ProtoWorld, SchedInner<Packet>) {
         let mut cfg = ProtoConfig::new(
             Layout::new(4096, 256),
             crate::Protocol::Hlrc,
@@ -521,10 +521,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 2
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::HlData { .. },
                     ..
-                })
+                }))
             )));
         // And the diff landed in the home copy.
         assert_eq!(w.data.node(0)[0], 9);
@@ -540,10 +540,10 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert!(matches!(
             &evs[0].2,
-            Some(Envelope {
+            Some(Packet::App(Envelope {
                 msg: ProtoMsg::HlData { .. },
                 ..
-            })
+            }))
         ));
     }
 
@@ -557,10 +557,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 3
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::HlNowHome { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -601,10 +601,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 1
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::HlDiff { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -632,10 +632,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 1
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::HlDiff { .. },
                     ..
-                })
+                }))
             )));
         // And the need for writer 3's interval 2 is remembered.
         assert!(!w.hl.satisfied(0, &[(3, 2)]));

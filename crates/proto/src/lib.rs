@@ -28,7 +28,7 @@ pub mod world;
 
 pub use config::{ProtoConfig, Protocol};
 pub use diff::Diff;
-pub use msg::{Envelope, FaultKind, Notice, ProtoMsg};
+pub use msg::{Envelope, FaultKind, Notice, Packet, ProtoMsg};
 pub use ops::Attempt;
 pub use vt::VClock;
 pub use world::{final_image, ProtoWorld};

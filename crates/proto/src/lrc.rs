@@ -5,7 +5,7 @@
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::config::Protocol;
-use crate::msg::{Envelope, Notice};
+use crate::msg::{Notice, Packet};
 use crate::vt::VClock;
 use crate::world::ProtoWorld;
 use crate::{hlrc, swlrc};
@@ -65,7 +65,7 @@ impl NoticeLog {
 ///
 /// Returns the local processing time (twin scans, diff creation) the calling
 /// thread must charge before its release message departs.
-pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId) -> Time {
+pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId) -> Time {
     if !w.has_lrc {
         return 0; // SC-only run: eager coherence, no release actions
     }
@@ -98,7 +98,7 @@ pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId) 
 /// Returns the processing time to add before the acquirer resumes.
 pub fn acquire_actions(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     vt: Option<&VClock>,
     notices: &[Notice],

@@ -184,6 +184,55 @@ impl Envelope {
     }
 }
 
+/// What actually travels through the simulation event queue: either an
+/// application-level envelope (the ideal fabric's only traffic, and what
+/// the fabric's receive path releases after reassembly) or a fabric
+/// transport packet.
+#[derive(Debug, Clone)]
+pub enum Packet {
+    /// Protocol payload, dispatched to the protocol handlers.
+    App(Envelope),
+    /// A data frame in flight on the simulated fabric.
+    Frame {
+        /// Sending node.
+        src: NodeId,
+        /// Channel sequence number.
+        seq: u64,
+        /// Transmission attempt (0 = original send).
+        attempt: u32,
+        /// Wire size (header + control + data), for receive occupancy.
+        bytes: u64,
+        /// The protocol payload the frame carries.
+        env: Envelope,
+    },
+    /// Acknowledgement of a frame, returning to its sender.
+    Ack {
+        /// The acknowledging node (the frame's destination).
+        from: NodeId,
+        /// Acknowledged channel sequence number.
+        seq: u64,
+    },
+    /// Retransmission timer, posted to the sending node.
+    Timer {
+        /// The unacked frame's destination.
+        peer: NodeId,
+        /// Channel sequence number the timer guards.
+        seq: u64,
+        /// Attempt the timer belongs to (stale timers no-op).
+        attempt: u32,
+    },
+}
+
+impl Packet {
+    /// The application envelope, when this is an [`Packet::App`] packet.
+    pub fn app(&self) -> Option<&Envelope> {
+        match self {
+            Packet::App(env) => Some(env),
+            _ => None,
+        }
+    }
+}
+
 impl ProtoMsg {
     /// Stable short name of the message variant, used as the event tag in
     /// the observability stream.

@@ -5,7 +5,7 @@ use dsm_mem::{Access, BlockId};
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::config::Protocol;
-use crate::msg::{Envelope, FaultKind};
+use crate::msg::{FaultKind, Packet};
 use crate::world::ProtoWorld;
 use crate::{hlrc, sc, swlrc};
 
@@ -73,7 +73,7 @@ pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8], now: 
 /// it with the access installed.
 pub fn start_fault(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     kind: FaultKind,

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use dsm_mem::{Access, BlockId};
 use dsm_sim::{NodeId, Sched, Time};
 
-use crate::msg::{Envelope, FaultKind, ProtoMsg};
+use crate::msg::{FaultKind, Packet, ProtoMsg};
 use crate::world::{grant_access, ProtoWorld};
 
 /// One directory entry, conceptually located at the block's home.
@@ -74,7 +74,7 @@ fn bit(n: NodeId) -> u64 {
 /// The caller blocks afterwards; the grant (or NowHome) wakes it.
 pub fn start_fault(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     kind: FaultKind,
@@ -99,7 +99,7 @@ pub fn start_fault(
 /// target to forward from).
 pub fn handle_request(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -154,7 +154,7 @@ pub fn handle_request(
 /// Begin (or queue) a directory transaction at the home.
 fn process_dir_request(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     from: NodeId,
     b: BlockId,
@@ -181,7 +181,7 @@ fn process_dir_request(
 
 fn begin_read(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     from: NodeId,
     b: BlockId,
@@ -215,7 +215,7 @@ fn begin_read(
 
 fn send_read_grant(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     from: NodeId,
     b: BlockId,
@@ -254,7 +254,7 @@ fn send_read_grant(
 
 fn begin_write(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     from: NodeId,
     b: BlockId,
@@ -300,7 +300,7 @@ fn begin_write(
 
 fn complete_write(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     from: NodeId,
     b: BlockId,
@@ -342,7 +342,7 @@ fn complete_write(
 }
 
 /// Fetch-back at the exclusive owner: downgrade to read-only, ship data home.
-pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
+pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId) {
     debug_assert_eq!(w.access.get(me, b), Access::ReadWrite);
     w.access.set(me, b, Access::Read);
     let bs = w.block_size_of(b) as u64;
@@ -365,7 +365,7 @@ pub fn handle_fetch_back(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId
 }
 
 /// Invalidation at a sharer or owner.
-pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
+pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId) {
     // An invalidation overtaking our in-flight read grant for the same
     // block poisons the grant: it must be discarded and retried.
     if w.nodes[me].pending_fault == Some((b, FaultKind::Read)) {
@@ -426,7 +426,7 @@ pub fn handle_inval(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: 
 /// Data written back to the home (fetch-back or invalidation of the owner).
 pub fn handle_write_back(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -458,7 +458,7 @@ pub fn handle_write_back(
 /// Invalidation ack from a read-only sharer.
 pub fn handle_inval_ack(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     _from: NodeId,
     b: BlockId,
@@ -466,7 +466,7 @@ pub fn handle_inval_ack(
     ack_received(w, s, me, b, s.now() + w.cfg.cost.handler_ns);
 }
 
-fn ack_received(w: &mut ProtoWorld, s: &mut Sched<Envelope>, home: NodeId, b: BlockId, at: Time) {
+fn ack_received(w: &mut ProtoWorld, s: &mut Sched<Packet>, home: NodeId, b: BlockId, at: Time) {
     let (requester, kind, done) = {
         let e = w.sc.entry(b);
         let p = e.pending.as_mut().expect("ack without transaction");
@@ -485,7 +485,7 @@ fn ack_received(w: &mut ProtoWorld, s: &mut Sched<Envelope>, home: NodeId, b: Bl
 /// Grant arriving at the requester: install access, confirm to the home.
 pub fn handle_grant(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     exclusive: bool,
@@ -562,7 +562,7 @@ pub fn handle_grant(
 /// First-touch claim confirmation at the new home.
 pub fn handle_now_home(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     kind: FaultKind,
@@ -580,7 +580,7 @@ pub fn handle_now_home(
 /// Grant-ack at the home: transaction complete; serve the next waiter.
 pub fn handle_grant_ack(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     _from: NodeId,
     b: BlockId,
@@ -590,7 +590,7 @@ pub fn handle_grant_ack(
 
 fn complete_transaction(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     home: NodeId,
     b: BlockId,
     at: Time,
@@ -624,7 +624,7 @@ mod tests {
     use dsm_net::Notify;
     use dsm_sim::engine::SchedInner;
 
-    fn setup() -> (ProtoWorld, SchedInner<Envelope>) {
+    fn setup() -> (ProtoWorld, SchedInner<Packet>) {
         let mut cfg =
             ProtoConfig::new(Layout::new(4096, 256), crate::Protocol::Sc, Notify::Polling);
         cfg.nodes = 4;
@@ -648,10 +648,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 3
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::ScNowHome { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -674,10 +674,10 @@ mod tests {
             .filter(|(_, _, m)| {
                 matches!(
                     m,
-                    Some(Envelope {
+                    Some(Packet::App(Envelope {
                         msg: ProtoMsg::ScInval { .. },
                         ..
-                    })
+                    }))
                 )
             })
             .map(|(_, to, _)| *to)
@@ -724,13 +724,13 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 0
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::ScWriteBack {
                         invalidated: true,
                         ..
                     },
                     ..
-                })
+                }))
             )));
     }
 

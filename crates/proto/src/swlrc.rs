@@ -11,7 +11,7 @@
 use dsm_mem::{Access, BlockId};
 use dsm_sim::{NodeId, Sched, Time};
 
-use crate::msg::{Envelope, FaultKind, Notice, ProtoMsg};
+use crate::msg::{FaultKind, Notice, Packet, ProtoMsg};
 use crate::world::ProtoWorld;
 
 /// Maximum forwarding chain length before we declare a protocol bug.
@@ -116,7 +116,7 @@ impl SwState {
 /// Node-side fault entry point: route the request toward the owner.
 pub fn start_fault(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     kind: FaultKind,
@@ -148,7 +148,7 @@ pub fn start_fault(
 /// otherwise forward along the hint chain.
 pub fn handle_request(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -245,7 +245,7 @@ pub fn handle_request(
 /// Serve a request at the settled owner.
 fn serve(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     b: BlockId,
@@ -316,7 +316,7 @@ fn serve(
 /// Reply at the requester: install data (and possibly ownership).
 pub fn handle_reply(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     b: BlockId,
     version: u32,
@@ -342,7 +342,7 @@ pub fn handle_reply(
 }
 
 /// Claim confirmation at the first owner.
-pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId) {
+pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId) {
     w.sw.owner[b] = Some(me);
     w.sw.in_transfer[b] = None;
     w.sw.version[b] = 1;
@@ -357,7 +357,7 @@ pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId,
     s.wake(me, at);
 }
 
-fn drain_waiting(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, b: BlockId, at: Time) {
+fn drain_waiting(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b: BlockId, at: Time) {
     let qi = w.sw.idx(me, b);
     if !w.sw.waiting[qi].is_empty() {
         let queue = std::mem::take(&mut w.sw.waiting[qi]);
@@ -452,7 +452,7 @@ mod tests {
     use dsm_net::Notify;
     use dsm_sim::engine::SchedInner;
 
-    fn setup() -> (ProtoWorld, SchedInner<Envelope>) {
+    fn setup() -> (ProtoWorld, SchedInner<Packet>) {
         let mut cfg = ProtoConfig::new(
             Layout::new(4096, 256),
             crate::Protocol::SwLrc,
@@ -475,10 +475,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 2
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::SwNowOwner { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -491,14 +491,14 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 3
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::SwReply {
                         version: 0,
                         ownership: false,
                         ..
                     },
                     ..
-                })
+                }))
             )));
     }
 

@@ -15,7 +15,7 @@ use dsm_obs::EventKind;
 use dsm_sim::{NodeId, Sched, Time};
 
 use crate::lrc;
-use crate::msg::{Envelope, Notice, ProtoMsg};
+use crate::msg::{Notice, Packet, ProtoMsg};
 use crate::vt::VClock;
 use crate::world::ProtoWorld;
 
@@ -51,7 +51,7 @@ pub fn barrier_manager(w: &ProtoWorld, b: usize) -> NodeId {
 
 /// Node-side acquire entry point; the caller blocks until the grant wakes
 /// it.
-pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeId, l: usize) {
+pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, l: usize) {
     w.stats[me].lock_acquires += 1;
     let mgr = lock_manager(w, l);
     if mgr != me {
@@ -77,12 +77,7 @@ pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Envelope>, me: NodeI
 
 /// Node-side release entry point. Returns the local time to charge (release
 /// actions: diffing, versioning); the release message is already in flight.
-pub fn lock_release_start(
-    w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
-    me: NodeId,
-    l: usize,
-) -> Time {
+pub fn lock_release_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, l: usize) -> Time {
     let elapsed = lrc::release_actions(w, s, me);
     let mgr = lock_manager(w, l);
     let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
@@ -108,7 +103,7 @@ pub fn lock_release_start(
 /// it. Returns the local time to charge before blocking.
 pub fn barrier_arrive_start(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     bar: usize,
 ) -> Time {
@@ -137,7 +132,7 @@ pub fn barrier_arrive_start(
 /// Lock request at the manager.
 pub fn handle_lock_req(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     l: usize,
@@ -157,7 +152,7 @@ pub fn handle_lock_req(
 /// waiter if any.
 pub fn handle_lock_rel(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     l: usize,
@@ -179,7 +174,7 @@ pub fn handle_lock_rel(
 
 fn send_grant(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     to: NodeId,
     l: usize,
@@ -224,7 +219,7 @@ fn send_grant(
 /// Lock grant at the acquirer: apply consistency information and resume.
 pub fn handle_lock_grant(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     _l: usize,
     vt: Option<VClock>,
@@ -237,7 +232,7 @@ pub fn handle_lock_grant(
 /// Barrier arrival at the manager.
 pub fn handle_bar_arrive(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     from: NodeId,
     bar: usize,
@@ -304,7 +299,7 @@ pub fn handle_bar_arrive(
 /// Barrier release at a participant: apply consistency information, resume.
 pub fn handle_bar_release(
     w: &mut ProtoWorld,
-    s: &mut Sched<Envelope>,
+    s: &mut Sched<Packet>,
     me: NodeId,
     _bar: usize,
     vt: Option<VClock>,
@@ -318,11 +313,12 @@ pub fn handle_bar_release(
 mod tests {
     use super::*;
     use crate::config::ProtoConfig;
+    use crate::msg::Envelope;
     use dsm_mem::Layout;
     use dsm_net::Notify;
     use dsm_sim::engine::SchedInner;
 
-    fn setup(protocol: crate::Protocol) -> (ProtoWorld, SchedInner<Envelope>) {
+    fn setup(protocol: crate::Protocol) -> (ProtoWorld, SchedInner<Packet>) {
         let mut cfg = ProtoConfig::new(Layout::new(4096, 256), protocol, Notify::Polling);
         cfg.nodes = 4;
         (ProtoWorld::new(cfg), SchedInner::for_testing(4))
@@ -338,10 +334,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 2
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::LockGrant { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -360,10 +356,10 @@ mod tests {
         assert!(evs.iter().any(|(_, to, m)| *to == 3
             && matches!(
                 m,
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::LockGrant { .. },
                     ..
-                })
+                }))
             )));
     }
 
@@ -392,10 +388,10 @@ mod tests {
         let grant = evs
             .iter()
             .find_map(|(_, to, m)| match m {
-                Some(Envelope {
+                Some(Packet::App(Envelope {
                     msg: ProtoMsg::LockGrant { notices, .. },
                     ..
-                }) if *to == 3 => Some(notices.clone()),
+                })) if *to == 3 => Some(notices.clone()),
                 _ => None,
             })
             .expect("grant sent");
@@ -421,10 +417,10 @@ mod tests {
             .filter(|(_, _, m)| {
                 matches!(
                     m,
-                    Some(Envelope {
+                    Some(Packet::App(Envelope {
                         msg: ProtoMsg::BarRelease { .. },
                         ..
-                    })
+                    }))
                 )
             })
             .map(|(_, to, _)| *to)

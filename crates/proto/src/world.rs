@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use dsm_fabric::{Fabric, RxOutcome, TxAction, TxOutcome};
 use dsm_mem::{Access, AccessTable, BlockId, DataStore, HomeDirectory};
 use dsm_net::{Notify, MSG_HEADER_BYTES};
 use dsm_obs::{EventKind, Recorder, SharingProfile};
@@ -11,7 +12,7 @@ use dsm_stats::{Counters, RegionCounters};
 use crate::config::{ProtoConfig, Protocol};
 use crate::hlrc::HlState;
 use crate::lrc::NoticeLog;
-use crate::msg::{Envelope, FaultKind, ProtoMsg};
+use crate::msg::{Envelope, FaultKind, Packet, ProtoMsg};
 use crate::pool::{BufPool, TwinTable};
 use crate::sc::ScState;
 use crate::swlrc::SwState;
@@ -110,6 +111,13 @@ pub struct ProtoWorld {
     pub profile: Option<SharingProfile>,
     /// Recycled byte buffers for twins and diff payloads.
     pub pool: BufPool,
+    /// The network fabric (NI queues, fault injector, retransmission).
+    pub fabric: Fabric<Envelope>,
+    /// Virtual time of the last application-level activity (an envelope
+    /// delivered or a node clock advance). With the reliable fabric,
+    /// pending retransmission timers drain past the application's real
+    /// end; the runner uses this instead of the engine's final clock.
+    pub quiesce: Time,
 }
 
 impl ProtoWorld {
@@ -149,6 +157,8 @@ impl ProtoWorld {
             region_proto,
             has_lrc,
             pool: BufPool::default(),
+            fabric: Fabric::new(cfg.fabric.clone(), n),
+            quiesce: 0,
             cfg,
         }
     }
@@ -240,7 +250,7 @@ impl ProtoWorld {
     #[allow(clippy::too_many_arguments)] // (from, to, depart, sizes, msg) is the natural wire signature
     pub fn send(
         &mut self,
-        s: &mut Sched<Envelope>,
+        s: &mut Sched<Packet>,
         from: NodeId,
         to: NodeId,
         depart: Time,
@@ -249,7 +259,7 @@ impl ProtoWorld {
         msg: ProtoMsg,
     ) {
         if from == to {
-            s.post(to, depart, Envelope::immediate(msg));
+            s.post(to, depart, Packet::App(Envelope::immediate(msg)));
             return;
         }
         let st = &mut self.stats[from];
@@ -273,14 +283,102 @@ impl ProtoWorld {
                 data,
             },
         );
-        let arrival = depart + self.cfg.latency.one_way(MSG_HEADER_BYTES + ctrl + data);
-        s.post(to, arrival, Envelope::new(msg));
+        let bytes = MSG_HEADER_BYTES + ctrl + data;
+        let wire = self.cfg.latency.one_way(bytes);
+        if self.cfg.fabric.is_ideal() {
+            // The analytic fast path: one event per message, posted exactly
+            // as before the fabric existed (bit-for-bit invariant).
+            s.post(to, depart + wire, Packet::App(Envelope::new(msg)));
+            return;
+        }
+        let out = self
+            .fabric
+            .on_send(depart, from, to, bytes, wire, Envelope::new(msg));
+        self.apply_tx(s, from, out);
+    }
+
+    /// Account a transmission's outcome and post its frames and timers.
+    fn apply_tx(&mut self, s: &mut Sched<Packet>, from: NodeId, out: TxOutcome<Envelope>) {
+        let st = &mut self.stats[from];
+        st.fabric_frames += 1;
+        st.fabric_queue_ns += out.queue_ns;
+        st.fabric_drops += out.dropped as u64;
+        st.fabric_dups += out.duplicated as u64;
+        st.fabric_exhausted += out.exhausted as u64;
+        if out.queue_ns > 0 && self.obs.is_active() {
+            let now = s.now();
+            self.obs
+                .record(from, now, EventKind::NetQueue { dur: out.queue_ns });
+        }
+        for a in out.actions {
+            match a {
+                TxAction::Frame {
+                    to,
+                    at,
+                    seq,
+                    attempt,
+                    bytes,
+                    payload,
+                } => s.post(
+                    to,
+                    at,
+                    Packet::Frame {
+                        src: from,
+                        seq,
+                        attempt,
+                        bytes,
+                        env: payload,
+                    },
+                ),
+                TxAction::Timer {
+                    at,
+                    peer,
+                    seq,
+                    attempt,
+                } => s.post(from, at, Packet::Timer { peer, seq, attempt }),
+            }
+        }
+    }
+
+    /// A fabric frame reached `to`'s receive NI: dedup/reassemble, ack,
+    /// and release deliverable envelopes as `App` packets.
+    fn frame_arrived(
+        &mut self,
+        s: &mut Sched<Packet>,
+        to: NodeId,
+        src: NodeId,
+        seq: u64,
+        bytes: u64,
+        env: Envelope,
+    ) {
+        let now = s.now();
+        let RxOutcome {
+            deliver,
+            ack_at,
+            queue_ns,
+            duplicate,
+        } = self.fabric.on_frame(now, src, to, seq, bytes, env);
+        let st = &mut self.stats[to];
+        st.fabric_queue_ns += queue_ns;
+        st.fabric_dup_drops += duplicate as u64;
+        if queue_ns > 0 && self.obs.is_active() {
+            self.obs
+                .record(to, now, EventKind::NetQueue { dur: queue_ns });
+        }
+        if let Some(at) = ack_at {
+            self.stats[to].fabric_acks += 1;
+            let ack_wire = self.cfg.latency.one_way(self.cfg.fabric.retry.ack_bytes);
+            s.post(src, at + ack_wire, Packet::Ack { from: to, seq });
+        }
+        for (at, env) in deliver {
+            s.post(to, at, Packet::App(env));
+        }
     }
 
     /// Charge `cost` ns of request-service occupancy to a node that is
     /// currently computing (no-op for blocked/done nodes, whose spin loop
     /// absorbs the work).
-    pub fn occupy(&mut self, s: &mut Sched<Envelope>, node: NodeId, cost: Time) {
+    pub fn occupy(&mut self, s: &mut Sched<Packet>, node: NodeId, cost: Time) {
         self.stats[node].service_ns += cost;
         if let Some(r) = s.resume_at(node) {
             let now = s.now();
@@ -297,7 +395,7 @@ impl ProtoWorld {
     /// Mark that `node` just obtained a block (fault completed): under the
     /// interrupt mechanism further asynchronous requests to it are deferred
     /// for the grace window.
-    pub fn block_obtained(&mut self, s: &Sched<Envelope>, node: NodeId) {
+    pub fn block_obtained(&mut self, s: &Sched<Packet>, node: NodeId) {
         if self.cfg.notify == Notify::Interrupt {
             self.nodes[node].intr_disabled_until = s.now() + self.cfg.cost.intr_grace_ns;
         }
@@ -313,9 +411,38 @@ impl ProtoWorld {
 }
 
 impl World for ProtoWorld {
-    type Msg = Envelope;
+    type Msg = Packet;
 
-    fn deliver(&mut self, s: &mut Sched<Envelope>, to: NodeId, env: Envelope) {
+    fn deliver(&mut self, s: &mut Sched<Packet>, to: NodeId, pkt: Packet) {
+        let env = match pkt {
+            Packet::App(env) => env,
+            Packet::Frame {
+                src,
+                seq,
+                attempt: _,
+                bytes,
+                env,
+            } => return self.frame_arrived(s, to, src, seq, bytes, env),
+            Packet::Ack { from, seq } => return self.fabric.on_ack(to, from, seq),
+            Packet::Timer { peer, seq, attempt } => {
+                let now = s.now();
+                if let Some(out) = self.fabric.on_timer(now, to, peer, seq, attempt) {
+                    self.stats[to].fabric_retries += 1;
+                    self.obs.record(
+                        to,
+                        now,
+                        EventKind::Retransmit {
+                            to: peer,
+                            seq,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    self.apply_tx(s, to, out);
+                }
+                return;
+            }
+        };
+        self.quiesce = self.quiesce.max(s.now());
         // One-shot service-time deferral for asynchronous requests arriving
         // at a node that is busy computing.
         if !env.deferred
@@ -337,10 +464,10 @@ impl World for ProtoWorld {
                 s.post(
                     to,
                     svc,
-                    Envelope {
+                    Packet::App(Envelope {
                         msg: env.msg,
                         deferred: true,
-                    },
+                    }),
                 );
                 return;
             }
@@ -360,10 +487,10 @@ impl World for ProtoWorld {
             s.post(
                 to,
                 at,
-                Envelope {
+                Packet::App(Envelope {
                     msg: env.msg,
                     deferred: true,
-                },
+                }),
             );
             return;
         }
@@ -493,6 +620,7 @@ impl World for ProtoWorld {
     }
 
     fn on_advance(&mut self, node: NodeId, from: Time, to_t: Time) {
+        self.quiesce = self.quiesce.max(to_t);
         self.obs
             .record(node, to_t, EventKind::Advance { dur: to_t - from });
     }

@@ -676,6 +676,36 @@ mod tests {
     }
 
     #[test]
+    fn post_done_drain_follows_event_chains() {
+        // After every node body has returned, in-flight messages are still
+        // delivered — including messages that deliveries themselves post
+        // (retransmission-timer chains in the fabric depend on this).
+        struct ChainWorld {
+            log: Vec<(Time, u32)>,
+        }
+        impl World for ChainWorld {
+            type Msg = u32;
+            fn deliver(&mut self, sched: &mut Sched<u32>, _to: NodeId, msg: u32) {
+                self.log.push((sched.now(), msg));
+                if msg < 3 {
+                    let at = sched.now() + 100;
+                    sched.post(0, at, msg + 1);
+                }
+            }
+        }
+        let (w, t) = run_cluster(
+            ChainWorld { log: vec![] },
+            vec![Box::new(|ctx: &mut NodeCtx<ChainWorld>| {
+                // Post the chain's head and return immediately: the whole
+                // chain runs in the post-Done drain.
+                ctx.world(|_, s| s.post(0, 1_000, 0));
+            })],
+        );
+        assert_eq!(w.log, vec![(1_000, 0), (1_100, 1), (1_200, 2), (1_300, 3)]);
+        assert_eq!(t, 1_300, "drain must advance the clock through the chain");
+    }
+
+    #[test]
     fn delay_pushes_back_compute_segment() {
         struct DelayWorld;
         impl World for DelayWorld {

@@ -120,6 +120,26 @@ define_counters! {
     /// Peak bytes held in twins at this node (HLRC memory overhead; the
     /// paper lists memory utilization as unexamined future work).
     twin_bytes_peak: max,
+    /// Fabric: data-frame transmissions from this node (originals,
+    /// retransmissions, and forced final attempts; zero on the ideal
+    /// fabric).
+    fabric_frames: sum,
+    /// Fabric: timeout-driven retransmissions from this node.
+    fabric_retries: sum,
+    /// Fabric: transmissions whose retry budget ran out, forcing the
+    /// injector-bypassing reliable attempt.
+    fabric_exhausted: sum,
+    /// Fabric: frames the injector dropped on this node's sends.
+    fabric_drops: sum,
+    /// Fabric: duplicate copies the injector added to this node's sends.
+    fabric_dups: sum,
+    /// Fabric: duplicate frames this node's receive path discarded.
+    fabric_dup_drops: sum,
+    /// Fabric: acknowledgement frames this node generated.
+    fabric_acks: sum,
+    /// Fabric: virtual ns this node's frames waited behind busy NI send
+    /// and receive engines (queuing delay under contention).
+    fabric_queue_ns: sum,
 }
 
 impl Counters {

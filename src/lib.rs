@@ -35,6 +35,7 @@
 pub use dsm_adapt as adapt;
 pub use dsm_apps as apps;
 pub use dsm_core as core;
+pub use dsm_fabric as fabric;
 pub use dsm_json as json;
 pub use dsm_mem as mem;
 pub use dsm_net as net;
@@ -45,6 +46,6 @@ pub use dsm_stats as stats;
 
 pub use dsm_core::{
     run_checked, run_experiment, run_parallel, run_sequential, touch_region, Dsm, DsmProgram,
-    ExperimentResult, MemImage, Notify, Program, Protocol, RegionHint, RegionPolicy, RegionReport,
-    RunConfig,
+    ExperimentResult, FabricConfig, MemImage, Notify, Program, Protocol, RegionHint, RegionPolicy,
+    RegionReport, RunConfig,
 };

@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use dsm::{run_experiment, Dsm, DsmProgram, MemImage, Protocol, RunConfig};
+use dsm::{
+    run_experiment, run_parallel, Dsm, DsmProgram, FabricConfig, MemImage, Protocol, RunConfig,
+};
 use dsm_apps::util::XorShift;
 
 #[derive(Debug, Clone)]
@@ -155,5 +157,41 @@ fn random_drf_programs_verify_everywhere() {
             "case {case}: seed {seed:#x} {protocol:?}@{block}: {:?}",
             r.check
         );
+    }
+}
+
+#[test]
+fn random_drf_programs_survive_fault_injection() {
+    // Under a seeded fault schedule (drops, duplicates, reordering, delay
+    // spikes) with a sufficient retry budget, every protocol must still
+    // produce exactly the fault-free final image: retransmission plus the
+    // receive-side dedup/reassembly make the lossy fabric invisible to the
+    // protocol layer.
+    let mut rng = XorShift::new(0x6B1C_43E9_0A77_52DF);
+    for case in 0..6 {
+        let seed = rng.next_u64();
+        let words = 32 + rng.below(96);
+        let phases = 2 + rng.below(3);
+        let locks = rng.below(4);
+        let protocol = Protocol::ALL[case % 3];
+        let block = [64usize, 256, 1024, 4096][rng.below(4)];
+        let program = RandomDrfBuffered(RandomDrf {
+            seed,
+            words,
+            phases,
+            locks,
+        });
+        let clean = run_parallel(&RunConfig::new(protocol, block), Arc::new(program.clone()));
+        let faulty = run_parallel(
+            &RunConfig::new(protocol, block).with_fabric(FabricConfig::faulty(seed ^ 0xF0F0)),
+            Arc::new(program),
+        );
+        assert_eq!(
+            clean.image.bytes(),
+            faulty.image.bytes(),
+            "case {case}: seed {seed:#x} {protocol:?}@{block}: faulty image diverged"
+        );
+        let t = faulty.stats.totals();
+        assert!(t.fabric_frames > 0, "case {case}: fabric never engaged");
     }
 }
