@@ -2,13 +2,17 @@
 //! the adaptive per-region runtime.
 //!
 //! ```text
-//! diag [APP] [PROTOCOL] [BLOCK] [--json] [--trace FILE] [--adaptive]
-//!      [--sweep] [--jobs N] [--fabric SPEC]
+//! diag [APP] [PROTOCOL] [BLOCK] [--json] [--check] [--trace FILE]
+//!      [--adaptive] [--sweep] [--jobs N] [--fabric SPEC]
 //! ```
 //!
 //! Human-readable tables by default; `--json` switches to JSON Lines
 //! (per-node records with the time breakdown, one record per region, then
-//! a run record). `--trace FILE` records the run and writes a Chrome
+//! a run record). `--check` (or `DSM_CHECK=1`) installs the happens-before
+//! race detector and protocol invariant checker on the run, prints every
+//! violation (one `"check"` JSONL record each under `--json`), and exits
+//! nonzero when any were found.
+//! `--trace FILE` records the run and writes a Chrome
 //! trace-event file loadable in Perfetto (<https://ui.perfetto.dev>).
 //! `--adaptive` ignores PROTOCOL/BLOCK, profiles the application, lets the
 //! policy engine pin a protocol × granularity per region, and reports the
@@ -33,6 +37,7 @@ fn region_record(r: &RegionReport, decision: Option<&RegionDecision>) -> Value {
         None => Value::obj(),
     };
     v.set("type", "region");
+    v.set("schema", 1u32);
     v.set("region", r.name.as_str());
     v.set("start", r.start);
     v.set("len", r.len);
@@ -128,6 +133,7 @@ fn run_sweep(name: &str) {
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut json = false;
+    let mut check = false;
     let mut adaptive = false;
     let mut sweep = false;
     let mut trace_path: Option<String> = None;
@@ -136,6 +142,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--check" => check = true,
             "--adaptive" => adaptive = true,
             "--sweep" => sweep = true,
             "--trace" => {
@@ -199,6 +206,9 @@ fn main() {
     let mut cfg = RunConfig::new(proto, block)
         .with_profile()
         .with_fabric(fabric);
+    if check {
+        cfg = cfg.with_check();
+    }
     if adaptive {
         let data = profile_run(&program);
         let plan = choose_policies(&program, &data, &cfg, &ModelParams::default());
@@ -223,12 +233,15 @@ fn main() {
     if json {
         let mut head = Value::obj();
         head.set("type", "config");
+        head.set("schema", 1u32);
         head.set("app", name);
         head.set("adaptive", adaptive);
         head.set("protocol", cfg.protocol.name());
         head.set("block", cfg.block_size);
         head.set("speedup", r.speedup());
         head.set("check_ok", r.check.is_ok());
+        head.set("checked", cfg.check);
+        head.set("violations", r.violations.len());
         let mut fab = Value::obj();
         fab.set("contended", cfg.fabric.ni.is_some());
         fab.set("reliable", cfg.fabric.reliable());
@@ -242,7 +255,24 @@ fn main() {
             let d = decisions.iter().find(|d| d.profile.name == reg.name);
             println!("{}", region_record(reg, d));
         }
+        for v in &r.violations {
+            let mut rec = Value::obj();
+            rec.set("type", "check");
+            rec.set("schema", 1u32);
+            rec.set("rule", v.rule);
+            rec.set("node", v.node);
+            match v.block {
+                Some(b) => rec.set("block", b),
+                None => rec.set("block", Value::Null),
+            };
+            rec.set("time_ns", v.time);
+            rec.set("detail", v.detail.as_str());
+            println!("{rec}");
+        }
         print!("{}", jsonl_metrics(&r.obs, &r.stats));
+        if !r.violations.is_empty() {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -263,6 +293,20 @@ fn main() {
         r.speedup(),
         r.check.is_ok()
     );
+    if cfg.check {
+        if r.violations.is_empty() {
+            println!("  checker: clean (race detector + protocol invariants)");
+        } else {
+            println!("  checker: {} violation(s)", r.violations.len());
+            for v in &r.violations {
+                let block = v.block.map_or("-".to_string(), |b| b.to_string());
+                println!(
+                    "    [{}] node={} block={} t={}ns: {}",
+                    v.rule, v.node, block, v.time, v.detail
+                );
+            }
+        }
+    }
     println!(
         "  faults: r={} w={} local_w={} inval={} fetch_served={}",
         t.read_faults, t.write_faults, t.local_write_faults, t.invalidations, t.fetches_served
@@ -307,4 +351,7 @@ fn main() {
         ms(b.proto_local_ns),
         ms(b.occupancy_stolen_ns)
     );
+    if !r.violations.is_empty() {
+        std::process::exit(1);
+    }
 }

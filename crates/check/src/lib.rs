@@ -1,0 +1,383 @@
+//! dsm-check: happens-before race detection and online protocol invariant
+//! checking for the simulated DSM cluster.
+//!
+//! [`RunChecker`] implements the [`dsm_proto::Checker`] hook trait. It is
+//! installed on a [`dsm_proto::ProtoWorld`] by the run harness when checking
+//! is requested (`RunConfig::with_check` / `DSM_CHECK=1`) and is entirely
+//! absent otherwise — the hooks observe the protocol but never charge
+//! virtual time or mutate protocol state, so a checked run produces
+//! bit-identical results to an unchecked one.
+//!
+//! Two layers run side by side:
+//!
+//! - a FastTrack-style **race detector** ([`race`]) that rebuilds
+//!   happens-before from the synchronization hooks alone and shadows every
+//!   8-byte word of the shared space;
+//! - **protocol invariant mirrors** ([`inv`]) that independently re-derive
+//!   LRC write-notice completeness, HLRC diff coverage and flush
+//!   reconciliation, SW-LRC version monotonicity, SC install legality, and
+//!   the reliable fabric's exactly-once in-order delivery.
+//!
+//! Violations accumulate (capped) and are returned by `finalize`.
+
+pub mod inv;
+pub mod race;
+
+use dsm_mem::{BlockId, Layout};
+use dsm_proto::diff::Diff;
+use dsm_proto::msg::Notice;
+use dsm_proto::vt::VClock;
+use dsm_proto::{Checker, Protocol, Violation};
+use dsm_sim::{NodeId, Time};
+
+use inv::{FabricMirror, HlMirror, LrcMirror, SwMirror};
+use race::RaceDetector;
+
+/// Hard cap on stored violations: a genuinely broken run would otherwise
+/// report every access; the count of suppressed reports is kept.
+const MAX_VIOLATIONS: usize = 200;
+
+/// The full per-run checker. See the crate docs for the layer breakdown.
+pub struct RunChecker {
+    app: String,
+    layout: Layout,
+    /// Protocol per layout region (same indexing as `layout.regions()`).
+    region_protocols: Vec<Protocol>,
+    /// Fabric delivery checks only apply under the reliable fabric; the
+    /// ideal fire-and-forget network has no sequencing to validate.
+    fabric_reliable: bool,
+    det: RaceDetector,
+    lrc: LrcMirror,
+    hl: HlMirror,
+    sw: SwMirror,
+    fab: FabricMirror,
+    /// Last synchronization operation per node, for race attribution.
+    sync_ctx: Vec<String>,
+    violations: Vec<Violation>,
+    suppressed: usize,
+}
+
+impl RunChecker {
+    /// Checker for an `nodes`-node run of `app` over `layout`, with one
+    /// protocol per layout region (uniform runs pass the same protocol for
+    /// every region).
+    pub fn new(
+        app: &str,
+        nodes: usize,
+        layout: Layout,
+        region_protocols: Vec<Protocol>,
+        fabric_reliable: bool,
+    ) -> Self {
+        assert_eq!(
+            region_protocols.len(),
+            layout.regions().len(),
+            "one protocol per layout region"
+        );
+        RunChecker {
+            app: app.to_string(),
+            layout,
+            region_protocols,
+            fabric_reliable,
+            det: RaceDetector::new(nodes),
+            lrc: LrcMirror::new(nodes),
+            hl: HlMirror::default(),
+            sw: SwMirror::default(),
+            fab: FabricMirror::default(),
+            sync_ctx: vec!["before any synchronization".to_string(); nodes],
+            violations: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Violations recorded so far (finalize drains them; this is for tests
+    /// and incremental inspection).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn push(
+        &mut self,
+        rule: &'static str,
+        node: NodeId,
+        block: Option<BlockId>,
+        time: Time,
+        detail: String,
+    ) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            self.suppressed += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            rule,
+            node,
+            block,
+            time,
+            detail,
+        });
+    }
+
+    fn push_fail(&mut self, f: inv::Fail, node: NodeId, block: Option<BlockId>, time: Time) {
+        self.push(f.0, node, block, time, f.1);
+    }
+
+    fn protocol_of(&self, b: BlockId) -> Protocol {
+        let start = self.layout.block_range(b).start;
+        self.region_protocols[self.layout.region_of_addr(start)]
+    }
+
+    fn region_name(&self, addr: usize) -> &str {
+        self.layout.regions()[self.layout.region_of_addr(addr)].name()
+    }
+}
+
+impl Checker for RunChecker {
+    fn arm(&mut self, me: NodeId, now: Time) {
+        self.det.arm(me);
+        self.sync_ctx[me] = format!("measurement begin @ {now}");
+    }
+
+    fn on_access(&mut self, me: NodeId, addr: usize, len: usize, write: bool, now: Time) {
+        let races = self.det.access(me, addr, len, write);
+        for r in races {
+            let waddr = r.word * race::WORD;
+            let block = self.layout.block_of(waddr);
+            let off = waddr - self.layout.block_range(block).start;
+            let detail = format!(
+                "app={} region={} addr={waddr:#x} (block {block} offset {off}) {}: \
+                 node {} @ clock {} vs node {me} @ clock {}; {me}'s sync context: {}",
+                self.app,
+                self.region_name(waddr),
+                r.kind,
+                r.prior.node(),
+                r.prior.clock(),
+                r.current_clock,
+                self.sync_ctx[me],
+            );
+            self.push("hb-race", me, Some(block), now, detail);
+        }
+    }
+
+    fn lock_release(&mut self, me: NodeId, lock: usize, vt: &VClock, now: Time) {
+        self.lrc.on_lock_release(lock, vt);
+        self.det.release_lock(me, lock);
+        self.sync_ctx[me] = format!("released lock {lock} @ {now}");
+    }
+
+    fn lock_acquire(
+        &mut self,
+        me: NodeId,
+        lock: usize,
+        vt: Option<&VClock>,
+        notices: &[Notice],
+        cur: &VClock,
+        now: Time,
+    ) {
+        if let Some(vt) = vt {
+            let what = format!("lock {lock}");
+            if let Some(f) = self.lrc.check_grant(&what, vt, notices, cur) {
+                self.push_fail(f, me, None, now);
+            }
+            if let Some(f) = self.lrc.check_lock_dominates(lock, vt) {
+                self.push_fail(f, me, None, now);
+            }
+        }
+        self.det.acquire_lock(me, lock);
+        self.sync_ctx[me] = format!("acquired lock {lock} @ {now}");
+    }
+
+    fn bar_arrive(&mut self, me: NodeId, bar: usize, _now: Time) {
+        self.det.bar_arrive(me, bar);
+    }
+
+    fn bar_pass(
+        &mut self,
+        me: NodeId,
+        bar: usize,
+        vt: Option<&VClock>,
+        notices: &[Notice],
+        cur: &VClock,
+        skip_join: bool,
+        now: Time,
+    ) {
+        if let Some(vt) = vt {
+            let what = format!("barrier {bar}");
+            if let Some(f) = self.lrc.check_grant(&what, vt, notices, cur) {
+                self.push_fail(f, me, None, now);
+            }
+        }
+        self.det.bar_pass(me, bar, skip_join);
+        self.sync_ctx[me] = format!("passed barrier {bar} @ {now}");
+    }
+
+    fn lrc_release(
+        &mut self,
+        me: NodeId,
+        interval: u32,
+        _vt: &VClock,
+        notices: &[Notice],
+        _now: Time,
+    ) {
+        self.lrc.on_release(me, interval, notices);
+        for n in notices {
+            if self.protocol_of(n.block) == Protocol::Hlrc {
+                self.hl.on_notice(n.block, n.writer, n.version);
+            }
+        }
+    }
+
+    fn hl_diff(
+        &mut self,
+        me: NodeId,
+        block: BlockId,
+        twin: &[u8],
+        cur: &[u8],
+        diff: &Diff,
+        _interval: u32,
+        now: Time,
+    ) {
+        if let Some(f) = self.hl.on_diff(block, twin, cur, diff) {
+            self.push_fail(f, me, Some(block), now);
+        }
+    }
+
+    fn hl_flush(&mut self, block: BlockId, writer: NodeId, interval: u32, now: Time) {
+        if let Some(f) = self.hl.on_flush(block, writer, interval) {
+            self.push_fail(f, writer, Some(block), now);
+        }
+    }
+
+    fn sw_version(&mut self, block: BlockId, version: u32, now: Time) {
+        if let Some(f) = self.sw.on_version(block, version) {
+            self.push_fail(f, 0, Some(block), now);
+        }
+    }
+
+    fn sw_notice(&mut self, me: NodeId, block: BlockId, version: u32, fresh: bool, now: Time) {
+        if let Some(f) = self.sw.on_notice(block, version, fresh) {
+            self.push_fail(f, me, Some(block), now);
+        }
+    }
+
+    fn sc_install(
+        &mut self,
+        me: NodeId,
+        block: BlockId,
+        exclusive: bool,
+        readers: &[NodeId],
+        writers: &[NodeId],
+        now: Time,
+    ) {
+        if let Some(f) = inv::check_sc_install(block, exclusive, readers, writers) {
+            self.push_fail(f, me, Some(block), now);
+        }
+    }
+
+    fn fabric_frame(
+        &mut self,
+        src: NodeId,
+        to: NodeId,
+        seq: u64,
+        _duplicate: bool,
+        posted: usize,
+        now: Time,
+    ) {
+        if !self.fabric_reliable {
+            return;
+        }
+        if let Some(f) = self.fab.on_frame(src, to, seq, posted) {
+            self.push_fail(f, to, None, now);
+        }
+    }
+
+    fn finalize(&mut self, now: Time) -> Vec<Violation> {
+        let fails = self.hl.finalize();
+        for f in fails {
+            self.push_fail(f, 0, None, now);
+        }
+        if self.suppressed > 0 {
+            // Bypasses the cap: the summary must always make it out.
+            self.violations.push(Violation {
+                rule: "suppressed",
+                node: 0,
+                block: None,
+                time: now,
+                detail: format!(
+                    "{} further violation(s) suppressed after the first {MAX_VIOLATIONS}",
+                    self.suppressed
+                ),
+            });
+        }
+        std::mem::take(&mut self.violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(nodes: usize) -> RunChecker {
+        let layout = Layout::new(4096, 256);
+        let protos = vec![Protocol::Hlrc; layout.regions().len()];
+        RunChecker::new("unit", nodes, layout, protos, true)
+    }
+
+    #[test]
+    fn race_reports_carry_app_region_and_block_attribution() {
+        let mut c = checker(2);
+        c.arm(0, 10);
+        c.arm(1, 10);
+        c.on_access(0, 304, 8, true, 20);
+        c.on_access(1, 304, 8, true, 30);
+        let v = c.finalize(40);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hb-race");
+        assert_eq!(v[0].node, 1);
+        assert_eq!(v[0].block, Some(1));
+        assert!(v[0].detail.contains("app=unit"));
+        assert!(v[0].detail.contains("block 1"));
+    }
+
+    #[test]
+    fn lock_ordered_accesses_are_clean() {
+        let mut c = checker(2);
+        c.arm(0, 0);
+        c.arm(1, 0);
+        let mut vt = VClock::new(2);
+        c.on_access(0, 0, 8, true, 1);
+        vt.tick(0);
+        let notices = [Notice {
+            block: 0,
+            writer: 0,
+            version: 1,
+        }];
+        c.lrc_release(0, 1, &vt, &notices, 2);
+        c.lock_release(0, 3, &vt, 2);
+        c.lock_acquire(1, 3, Some(&vt), &notices, &VClock::new(2), 3);
+        c.on_access(1, 0, 8, true, 4);
+        assert!(c.finalize(5).is_empty());
+    }
+
+    #[test]
+    fn violations_are_capped_with_a_summary_record() {
+        let mut c = checker(2);
+        c.arm(0, 0);
+        c.arm(1, 0);
+        for w in 0..(MAX_VIOLATIONS + 10) {
+            c.on_access(0, w * 8, 8, true, 1);
+            c.on_access(1, w * 8, 8, true, 2);
+        }
+        let v = c.finalize(3);
+        assert_eq!(v.len(), MAX_VIOLATIONS + 1);
+        assert_eq!(v.last().unwrap().rule, "suppressed");
+    }
+
+    #[test]
+    fn sc_install_violation_names_the_stale_holder() {
+        let mut c = checker(4);
+        c.sc_install(2, 5, true, &[1], &[], 100);
+        let v = c.finalize(101);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sc-exclusive-with-readers");
+        assert_eq!(v[0].block, Some(5));
+    }
+}

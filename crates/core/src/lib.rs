@@ -28,9 +28,11 @@ pub use runner::{
 pub use seq::SeqDsm;
 pub use thread::DsmThread;
 
+pub use dsm_check::RunChecker;
 pub use dsm_fabric::{FabricConfig, FaultPlan, NiModel, RetryPolicy};
 pub use dsm_net::{CostModel, LatencyModel, Notify};
-pub use dsm_proto::{ProtoConfig, Protocol};
+pub use dsm_proto::{Checker, Mutation, ProtoConfig, Protocol, Violation};
+pub use dsm_sim::rng;
 pub use dsm_stats::{Counters, RunStats};
 
 use std::sync::Arc;

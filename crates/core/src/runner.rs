@@ -70,6 +70,15 @@ pub struct RunConfig {
     /// retransmission. The default ([`FabricConfig::ideal`]) reproduces the
     /// analytic fire-and-forget network bit-for-bit.
     pub fabric: FabricConfig,
+    /// Install the happens-before race detector and protocol invariant
+    /// checker (`dsm-check`) on the run. Defaults to the `DSM_CHECK`
+    /// environment variable; off means zero checking cost and bit-identical
+    /// results to a build without the checker.
+    pub check: bool,
+    /// Deliberate protocol mutation for checker self-tests: which mutation
+    /// and the seed selecting the occurrence. The mutation *sites* are only
+    /// compiled under the `mutate` feature; without it this field is inert.
+    pub mutation: Option<(dsm_proto::Mutation, u64)>,
 }
 
 impl RunConfig {
@@ -87,6 +96,8 @@ impl RunConfig {
             first_touch: true,
             obs: ObsConfig::default(),
             fabric: FabricConfig::ideal(),
+            check: std::env::var("DSM_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"),
+            mutation: None,
         }
     }
 
@@ -131,6 +142,19 @@ impl RunConfig {
         self.fabric = fabric;
         self
     }
+
+    /// Same configuration with the race detector and invariant checker on.
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
+        self
+    }
+
+    /// Same configuration with a deliberate protocol mutation installed
+    /// (checker self-tests; requires the `mutate` feature to have effect).
+    pub fn with_mutation(mut self, m: dsm_proto::Mutation, seed: u64) -> Self {
+        self.mutation = Some((m, seed));
+        self
+    }
 }
 
 /// What one region looked like in a finished run: its layout, its policy,
@@ -167,6 +191,9 @@ pub struct RunOutcome {
     pub regions: Vec<RegionReport>,
     /// Complete sharing profile, present when [`RunConfig::profile`] is set.
     pub profile: Option<SharingProfile>,
+    /// Checker findings, when [`RunConfig::check`] was set (empty on a
+    /// clean run and always empty with the checker off).
+    pub violations: Vec<dsm_proto::Violation>,
 }
 
 /// The region spans a mixed-mode run would carve the shared space into,
@@ -257,8 +284,18 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         first_touch: cfg.first_touch,
         obs: cfg.obs.clone(),
         fabric: cfg.fabric.clone(),
+        mutation: cfg.mutation,
     };
     let mut world = ProtoWorld::new(pcfg);
+    if cfg.check {
+        world.check = Some(Box::new(dsm_check::RunChecker::new(
+            &program.name(),
+            cfg.nodes,
+            world.cfg.layout.clone(),
+            world.region_proto.clone(),
+            cfg.fabric.reliable(),
+        )));
+    }
     let mut golden = MemImage::new(size);
     program.init(&mut golden);
     world.load_golden(golden.bytes());
@@ -309,6 +346,10 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         })
         .collect();
     let profile = world.profile.take();
+    let violations = match world.check.take() {
+        Some(mut c) => c.finalize(end),
+        None => Vec::new(),
+    };
     RunOutcome {
         stats: RunStats {
             per_node: world.stats.clone(),
@@ -320,6 +361,7 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         obs,
         regions,
         profile,
+        violations,
     }
 }
 
@@ -357,6 +399,8 @@ pub struct ExperimentResult {
     pub regions: Vec<RegionReport>,
     /// Sharing profile, when [`RunConfig::profile`] was set.
     pub profile: Option<SharingProfile>,
+    /// Checker findings, when [`RunConfig::check`] was set.
+    pub violations: Vec<dsm_proto::Violation>,
 }
 
 impl ExperimentResult {
@@ -380,6 +424,7 @@ pub fn run_experiment(cfg: &RunConfig, program: Program) -> ExperimentResult {
         obs: out.obs,
         regions: out.regions,
         profile: out.profile,
+        violations: out.violations,
     }
 }
 
@@ -390,6 +435,16 @@ pub fn run_checked(cfg: &RunConfig, program: Program) -> ExperimentResult {
         panic!(
             "{} under {:?}@{}: parallel result mismatch: {e}",
             r.name, cfg.protocol, cfg.block_size
+        );
+    }
+    if !r.violations.is_empty() {
+        panic!(
+            "{} under {:?}@{}: checker reported {} violation(s), first: {:?}",
+            r.name,
+            cfg.protocol,
+            cfg.block_size,
+            r.violations.len(),
+            r.violations[0]
         );
     }
     r

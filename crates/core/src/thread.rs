@@ -174,6 +174,9 @@ impl Dsm for DsmThread<'_> {
             w.stats[me] = Default::default();
             let now = s.now();
             w.obs.note_begin(me, now);
+            if let Some(c) = w.check.as_deref_mut() {
+                c.arm(me, now);
+            }
             if w.measure_start < now {
                 w.measure_start = now;
             }
@@ -193,7 +196,8 @@ impl Dsm for DsmThread<'_> {
             loop {
                 let attempt = {
                     let chunk_ref: &mut [u8] = chunk;
-                    this.ctx.world(|w, _| ops::try_read(w, me, a, chunk_ref))
+                    this.ctx
+                        .world(|w, s| ops::try_read(w, me, a, chunk_ref, s.now()))
                 };
                 match attempt {
                     Attempt::Done(t) => {

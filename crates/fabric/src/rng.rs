@@ -1,60 +1,7 @@
 //! Stateless deterministic randomness for fault rolls.
 //!
-//! Fault decisions must not depend on the order the simulator happens to
-//! process frames in, only on the frame's identity — otherwise resuming,
-//! caching, or re-running a configuration could perturb the schedule. So
-//! instead of a stateful generator there is a single hash: every roll is
-//! `mix` over `(seed, src, dst, seq, attempt)` plus a per-decision lane.
+//! The implementation lives in [`dsm_sim::rng`] so other crates (e.g. the
+//! checker's mutation self-tests) can share the same hash; this module
+//! re-exports it under the fabric's historical path.
 
-/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
-pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Deterministic roll for one decision `lane` about one frame identity.
-pub fn roll(seed: u64, lane: u64, src: u64, dst: u64, seq: u64, attempt: u64) -> u64 {
-    mix64(seed ^ mix64(lane ^ mix64(src ^ mix64(dst ^ mix64(seq ^ mix64(attempt))))))
-}
-
-/// Whether a roll hits a per-million rate.
-pub fn hit(r: u64, ppm: u32) -> bool {
-    r % 1_000_000 < u64::from(ppm)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rolls_are_deterministic_and_lane_independent() {
-        let a = roll(1, 0, 2, 3, 4, 0);
-        assert_eq!(a, roll(1, 0, 2, 3, 4, 0));
-        assert_ne!(a, roll(1, 1, 2, 3, 4, 0)); // lane changes the roll
-        assert_ne!(a, roll(2, 0, 2, 3, 4, 0)); // seed changes the roll
-        assert_ne!(a, roll(1, 0, 2, 3, 4, 1)); // retransmits re-roll
-    }
-
-    #[test]
-    fn hit_rates_are_approximately_calibrated() {
-        // 100k distinct frame identities at 10% should hit within ±10%.
-        let mut hits = 0u32;
-        for seq in 0..100_000u64 {
-            if hit(roll(99, 0, 1, 2, seq, 0), 100_000) {
-                hits += 1;
-            }
-        }
-        assert!((9_000..=11_000).contains(&hits), "hits={hits}");
-    }
-
-    #[test]
-    fn zero_rate_never_hits_and_full_rate_always_hits() {
-        for seq in 0..1_000u64 {
-            let r = roll(5, 2, 0, 1, seq, 0);
-            assert!(!hit(r, 0));
-            assert!(hit(r, 1_000_000));
-        }
-    }
-}
+pub use dsm_sim::rng::{hit, mix64, roll};

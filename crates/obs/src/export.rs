@@ -149,6 +149,7 @@ fn args_json(kind: &EventKind) -> Value {
 fn node_line(node: usize, rec: &NodeObs, stats: &RunStats) -> Value {
     let mut v = Value::obj();
     v.set("type", "node");
+    v.set("schema", 1u32);
     v.set("node", node);
     v.set("wall_ns", rec.wall_ns());
     if let Some(c) = stats.per_node.get(node) {
@@ -187,6 +188,7 @@ pub fn jsonl_metrics(report: &ObsReport, stats: &RunStats) -> String {
     }
     let mut run = Value::obj();
     run.set("type", "run");
+    run.set("schema", 1u32);
     run.set("nodes", report.nodes.len());
     run.set("parallel_time_ns", stats.parallel_time_ns);
     run.set("sequential_time_ns", stats.sequential_time_ns);

@@ -86,6 +86,9 @@ pub struct ProtoConfig {
     /// default — [`FabricConfig::ideal`] — reproduces the analytic
     /// fire-and-forget send bit-for-bit.
     pub fabric: FabricConfig,
+    /// Armed protocol mutation `(which, seed)` for checker self-tests.
+    /// Ineffective unless the `mutate` feature compiles the sites in.
+    pub mutation: Option<(crate::mutate::Mutation, u64)>,
 }
 
 impl ProtoConfig {
@@ -106,6 +109,7 @@ impl ProtoConfig {
             region_protocols: Vec::new(),
             profile: false,
             fabric: FabricConfig::ideal(),
+            mutation: None,
         }
     }
 

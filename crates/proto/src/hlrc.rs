@@ -277,12 +277,15 @@ pub fn handle_diff(
     }
     w.occupy(s, me, apply_cost);
     w.stats[me].diffs_applied += 1;
-    record_flush(w, b, from, interval);
+    record_flush(w, b, from, interval, s.now());
     serve_satisfied(w, s, me, b, s.now() + apply_cost + w.cfg.cost.handler_ns);
 }
 
 /// Record that `writer`'s diffs through `interval` are present at the home.
-pub fn record_flush(w: &mut ProtoWorld, b: BlockId, writer: NodeId, interval: u32) {
+pub fn record_flush(w: &mut ProtoWorld, b: BlockId, writer: NodeId, interval: u32, now: Time) {
+    if let Some(c) = w.check.as_deref_mut() {
+        c.hl_flush(b, writer, interval, now);
+    }
     let f = &mut w.hl.flushed[b * w.hl.nodes + writer];
     *f = (*f).max(interval + 1);
 }
@@ -361,14 +364,30 @@ pub fn release_dirty(
         if let Some(twin) = w.nodes[me].twins.take(b) {
             elapsed += w.cfg.cost.diff_scan_cost(w.block_size_of(b) as u64);
             let r = w.cfg.layout.block_range(b);
-            let diff = Diff::create_pooled(&twin, &w.data.node(me)[r], &mut w.pool);
-            w.pool.put(twin);
+            #[allow(unused_mut)]
+            let mut diff = Diff::create_pooled(&twin, &w.data.node(me)[r.clone()], &mut w.pool);
+            #[cfg(feature = "mutate")]
+            if let Some(m) = w.mutate.as_mut() {
+                // Lose the tail word of the diff's last run: the home copy
+                // silently misses part of this interval's writes.
+                let eligible = diff.runs.last().is_some_and(|run| run.bytes.len() > 1);
+                if m.fire_if(crate::mutate::Mutation::SkipDiffWord, eligible) {
+                    let run = diff.runs.last_mut().unwrap();
+                    let keep = run.bytes.len().saturating_sub(8).max(1);
+                    run.bytes.truncate(keep);
+                }
+            }
             if w.access.get(me, b) == Access::ReadWrite {
                 w.access.set(me, b, Access::Read);
             }
             if diff.is_empty() {
+                w.pool.put(twin);
                 continue; // silent rewrite of identical bytes: nothing to publish
             }
+            if let Some(c) = w.check.as_deref_mut() {
+                c.hl_diff(me, b, &twin, &w.data.node(me)[r], &diff, interval, s.now());
+            }
+            w.pool.put(twin);
             let wire = diff.wire_bytes();
             w.stats[me].diffs_created += 1;
             w.stats[me].diff_bytes += wire;
@@ -403,7 +422,7 @@ pub fn release_dirty(
             });
         } else if w.homes.home(b) == Some(me) {
             // Home block: the master copy already has the writes.
-            record_flush(w, b, me, interval);
+            record_flush(w, b, me, interval, s.now());
             if w.access.get(me, b) == Access::ReadWrite {
                 w.access.set(me, b, Access::Read);
             }
@@ -440,8 +459,7 @@ pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, n: &N
         let bs = w.block_size_of(n.block) as u64;
         elapsed += w.cfg.cost.diff_scan_cost(bs);
         let r = w.cfg.layout.block_range(n.block);
-        let diff = Diff::create_pooled(&twin, &w.data.node(me)[r], &mut w.pool);
-        w.pool.put(twin);
+        let diff = Diff::create_pooled(&twin, &w.data.node(me)[r.clone()], &mut w.pool);
         if !diff.is_empty() {
             let wire = diff.wire_bytes();
             w.stats[me].diffs_created += 1;
@@ -456,6 +474,17 @@ pub fn apply_notice(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, n: &N
             );
             let home = w.route_home(n.block);
             let my_interval = w.nodes[me].vt.get(me) + 1;
+            if let Some(c) = w.check.as_deref_mut() {
+                c.hl_diff(
+                    me,
+                    n.block,
+                    &twin,
+                    &w.data.node(me)[r],
+                    &diff,
+                    my_interval,
+                    s.now(),
+                );
+            }
             w.send(
                 s,
                 me,
@@ -534,7 +563,7 @@ mod tests {
     fn fetch_with_satisfied_needs_is_served_immediately() {
         let (mut w, mut s) = setup();
         w.homes.assign(0, 0);
-        record_flush(&mut w, 0, 1, 6);
+        record_flush(&mut w, 0, 1, 6, 0);
         handle_fetch(&mut w, &mut s, 0, 2, 0, FaultKind::Read, vec![(1, 5)]);
         let evs = s.take_events();
         assert_eq!(evs.len(), 1);

@@ -11,13 +11,17 @@
 //!   simulation engine as its [`dsm_sim::World`];
 //! * [`ops`] — node-side access-check and fault entry points;
 //! * [`sync`] — protocol-aware locks and barriers;
-//! * [`Protocol`] / [`ProtoConfig`] — run configuration.
+//! * [`Protocol`] / [`ProtoConfig`] — run configuration;
+//! * [`check`] — the run-time checker interface (hooks + violations);
+//! * [`mutate`] — feature-gated protocol mutations for checker self-tests.
 
+pub mod check;
 pub mod config;
 pub mod diff;
 pub mod hlrc;
 pub mod lrc;
 pub mod msg;
+pub mod mutate;
 pub mod ops;
 pub mod pool;
 pub mod sc;
@@ -26,9 +30,11 @@ pub mod sync;
 pub mod vt;
 pub mod world;
 
+pub use check::{Checker, Violation};
 pub use config::{ProtoConfig, Protocol};
 pub use diff::Diff;
 pub use msg::{Envelope, FaultKind, Notice, Packet, ProtoMsg};
+pub use mutate::{MutRt, Mutation};
 pub use ops::Attempt;
 pub use vt::VClock;
 pub use world::{final_image, ProtoWorld};

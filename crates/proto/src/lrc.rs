@@ -85,9 +85,12 @@ pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId) ->
     // Union transport: both protocols' notices are logged in one interval,
     // so a single vector-time/notice mechanism carries cross-region
     // causality regardless of which protocols coexist.
-    let mut notices = swlrc::release_dirty(w, me, sw_dirty);
+    let mut notices = swlrc::release_dirty(w, me, sw_dirty, s.now());
     let (hl_notices, elapsed) = hlrc::release_dirty(w, s, me, interval, hl_dirty);
     notices.extend(hl_notices);
+    if let Some(c) = w.check.as_deref_mut() {
+        c.lrc_release(me, interval, &w.nodes[me].vt, &notices, s.now());
+    }
     w.log.push_interval(me, interval, notices);
     elapsed
 }

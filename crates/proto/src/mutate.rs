@@ -1,0 +1,212 @@
+//! Deliberate protocol mutations for checker self-tests.
+//!
+//! A checker that never fires is worse than none, so the kill-matrix test
+//! enables exactly one [`Mutation`] per run and asserts the checker reports
+//! it. Each mutation models a realistic protocol bug at a single site:
+//! a dropped write notice, a corrupted diff, a stale lock timestamp, and so
+//! on. The two fabric mutations corrupt the delivery *report* the checker
+//! sees (a phantom duplicate / early release) rather than re-posting real
+//! envelopes, so a transport bug is observed as such instead of crashing
+//! the protocol layer above.
+//!
+//! The runtime ([`MutRt`]) is always compiled — it is a few words of state —
+//! but every mutation *site* in the protocol code is behind
+//! `#[cfg(feature = "mutate")]`, so production builds carry no mutation
+//! branches at all.
+//!
+//! Which occurrence of a site fires is chosen by seed: occurrence
+//! `roll(seed, mutation, ..) % 3` of the eligible site calls. One-shot
+//! mutations fire exactly once; [`Mutation::HbSkipBarrier`] is sticky
+//! (every occurrence from the chosen one on), because a single skipped
+//! happens-before join must persist long enough for a racy access pair to
+//! reach the detector.
+
+use dsm_sim::rng::roll;
+
+/// The catalogue of protocol mutations the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Drop one write notice from a lock grant (SW-LRC/HLRC).
+    DropWriteNotice,
+    /// Corrupt a created HLRC diff: truncate the tail of one run.
+    SkipDiffWord,
+    /// Store a stale vector time at lock release (manager's `last_vt`
+    /// misses the releaser's final interval).
+    LockStaleVt,
+    /// Skip the SW-LRC version bump at release: a write notice republishes
+    /// a stale version.
+    SwStaleVersion,
+    /// SC: skip invalidating one sharer on a write miss, leaving a stale
+    /// readable copy while exclusive access is granted.
+    ScKeepReader,
+    /// Report a duplicate fabric frame as delivered to the protocol.
+    FabricDupDeliver,
+    /// Report a held out-of-order fabric frame as released early.
+    FabricReorder,
+    /// Skip the race detector's happens-before join at a barrier pass on
+    /// node 0 (sticky).
+    HbSkipBarrier,
+}
+
+impl Mutation {
+    /// Every mutation, in kill-matrix order.
+    pub const ALL: [Mutation; 8] = [
+        Mutation::DropWriteNotice,
+        Mutation::SkipDiffWord,
+        Mutation::LockStaleVt,
+        Mutation::SwStaleVersion,
+        Mutation::ScKeepReader,
+        Mutation::FabricDupDeliver,
+        Mutation::FabricReorder,
+        Mutation::HbSkipBarrier,
+    ];
+
+    /// Stable kebab-case name (CLI / JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropWriteNotice => "drop-write-notice",
+            Mutation::SkipDiffWord => "skip-diff-word",
+            Mutation::LockStaleVt => "lock-stale-vt",
+            Mutation::SwStaleVersion => "sw-stale-version",
+            Mutation::ScKeepReader => "sc-keep-reader",
+            Mutation::FabricDupDeliver => "fabric-dup-deliver",
+            Mutation::FabricReorder => "fabric-reorder",
+            Mutation::HbSkipBarrier => "hb-skip-barrier",
+        }
+    }
+
+    /// Parse a [`Mutation::name`] string.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        Mutation::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// Stable lane index for seeding.
+    fn lane(self) -> u64 {
+        Mutation::ALL.iter().position(|&m| m == self).unwrap() as u64
+    }
+}
+
+/// Per-run mutation state: which mutation is armed, which eligible site
+/// occurrence it strikes, and whether it has struck yet.
+#[derive(Debug, Clone)]
+pub struct MutRt {
+    which: Mutation,
+    /// Eligible-occurrence index that fires (0-based).
+    target: u64,
+    /// Eligible occurrences seen so far.
+    count: u64,
+    /// Whether the mutation has fired at least once.
+    pub fired: bool,
+}
+
+impl MutRt {
+    /// Arm `which`, picking the target occurrence from `seed`.
+    pub fn new(which: Mutation, seed: u64) -> Self {
+        MutRt {
+            which,
+            target: roll(seed, which.lane(), 0, 0, 0, 0) % 3,
+            count: 0,
+            fired: false,
+        }
+    }
+
+    /// The armed mutation.
+    pub fn which(&self) -> Mutation {
+        self.which
+    }
+
+    /// One-shot site: returns true exactly once, at the target eligible
+    /// occurrence. `eligible` lets a site skip occurrences where the
+    /// mutation would be a no-op (e.g. an empty notice list).
+    pub fn fire_if(&mut self, m: Mutation, eligible: bool) -> bool {
+        if m != self.which || !eligible {
+            return false;
+        }
+        let hit = self.count == self.target;
+        self.count += 1;
+        if hit {
+            self.fired = true;
+        }
+        hit
+    }
+
+    /// One-shot site with no eligibility condition.
+    pub fn fire(&mut self, m: Mutation) -> bool {
+        self.fire_if(m, true)
+    }
+
+    /// Sticky site: fires at the target occurrence and every one after.
+    pub fn fire_sticky(&mut self, m: Mutation) -> bool {
+        if m != self.which {
+            return false;
+        }
+        let hit = self.count >= self.target;
+        self.count += 1;
+        if hit {
+            self.fired = true;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("nope"), None);
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once() {
+        let mut rt = MutRt::new(Mutation::DropWriteNotice, 42);
+        let fired: Vec<bool> = (0..10)
+            .map(|_| rt.fire(Mutation::DropWriteNotice))
+            .collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 1);
+        assert!(rt.fired);
+        // Other mutations never fire and never advance the count.
+        assert!(!rt.fire(Mutation::SkipDiffWord));
+    }
+
+    #[test]
+    fn ineligible_occurrences_do_not_count() {
+        let mut rt = MutRt::new(Mutation::LockStaleVt, 7);
+        let target = rt.target;
+        for _ in 0..100 {
+            assert!(!rt.fire_if(Mutation::LockStaleVt, false));
+        }
+        assert_eq!(rt.count, 0);
+        let mut hits = 0;
+        for i in 0..10 {
+            if rt.fire_if(Mutation::LockStaleVt, true) {
+                hits += 1;
+                assert_eq!(i, target);
+            }
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn sticky_fires_from_target_on() {
+        let mut rt = MutRt::new(Mutation::HbSkipBarrier, 3);
+        let target = rt.target as usize;
+        let fired: Vec<bool> = (0..6)
+            .map(|_| rt.fire_sticky(Mutation::HbSkipBarrier))
+            .collect();
+        assert!(fired[..target].iter().all(|&f| !f));
+        assert!(fired[target..].iter().all(|&f| f));
+    }
+
+    #[test]
+    fn seed_selects_target_deterministically() {
+        let a = MutRt::new(Mutation::SkipDiffWord, 1);
+        let b = MutRt::new(Mutation::SkipDiffWord, 1);
+        assert_eq!(a.target, b.target);
+        assert!(a.target < 3);
+    }
+}

@@ -28,14 +28,18 @@ pub fn access_cost(w: &ProtoWorld, len: usize) -> Time {
     len.div_ceil(8) as Time * w.cfg.cost.local_access_ns
 }
 
-/// Attempt to read `buf.len()` bytes at `addr` into `buf`.
-pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8]) -> Attempt {
+/// Attempt to read `buf.len()` bytes at `addr` into `buf`. `now` stamps the
+/// access for an installed checker.
+pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8], now: Time) -> Attempt {
     for b in w.cfg.layout.blocks_covering(addr, buf.len()) {
         if !w.access.get(me, b).readable() {
             return Attempt::Fault(b);
         }
     }
     buf.copy_from_slice(&w.data.node(me)[addr..addr + buf.len()]);
+    if let Some(c) = w.check.as_deref_mut() {
+        c.on_access(me, addr, buf.len(), false, now);
+    }
     Attempt::Done(access_cost(w, buf.len()))
 }
 
@@ -66,6 +70,9 @@ pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8], now: 
         }
     }
     w.data.node_mut(me)[addr..addr + data.len()].copy_from_slice(data);
+    if let Some(c) = w.check.as_deref_mut() {
+        c.on_access(me, addr, data.len(), true, now);
+    }
     Attempt::Done(access_cost(w, data.len()))
 }
 
@@ -102,7 +109,7 @@ mod tests {
     fn read_of_invalid_block_faults() {
         let mut w = world(Protocol::Sc);
         let mut buf = [0u8; 8];
-        assert_eq!(try_read(&mut w, 0, 0, &mut buf), Attempt::Fault(0));
+        assert_eq!(try_read(&mut w, 0, 0, &mut buf, 0), Attempt::Fault(0));
     }
 
     #[test]
@@ -111,7 +118,7 @@ mod tests {
         w.access.set(0, 0, Access::Read);
         w.data.node_mut(0)[0..8].copy_from_slice(&7u64.to_le_bytes());
         let mut buf = [0u8; 8];
-        match try_read(&mut w, 0, 0, &mut buf) {
+        match try_read(&mut w, 0, 0, &mut buf, 0) {
             Attempt::Done(t) => assert_eq!(t, w.cfg.cost.local_access_ns),
             other => panic!("expected Done, got {other:?}"),
         }
@@ -156,6 +163,6 @@ mod tests {
         w.access.set(0, 0, Access::Read);
         // Block 1 still invalid: a read spanning both faults on block 1.
         let mut buf = [0u8; 16];
-        assert_eq!(try_read(&mut w, 0, 56, &mut buf), Attempt::Fault(1));
+        assert_eq!(try_read(&mut w, 0, 56, &mut buf, 0), Attempt::Fault(1));
     }
 }

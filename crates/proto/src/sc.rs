@@ -278,9 +278,20 @@ fn begin_write(
             w.count_inval(home, b, at);
         }
     }
+    #[allow(unused_mut)]
+    let mut skip_mask = 0u64;
+    #[cfg(feature = "mutate")]
+    if let Some(m) = w.mutate.as_mut() {
+        // Leave the lowest-numbered remote sharer un-invalidated: its stale
+        // read-only copy survives into the requester's exclusive grant. The
+        // skipped ack is not counted, so the transaction still completes.
+        if m.fire_if(crate::mutate::Mutation::ScKeepReader, targets != 0) {
+            skip_mask = 1u64 << targets.trailing_zeros();
+        }
+    }
     let mut acks = 0u32;
     for t in 0..w.cfg.nodes {
-        if targets & bit(t) != 0 {
+        if (targets & !skip_mask) & bit(t) != 0 {
             acks += 1;
             w.send(s, home, t, at, 0, 0, ProtoMsg::ScInval { block: b });
         }
@@ -539,6 +550,26 @@ pub fn handle_grant(
             Access::Read
         },
     );
+    if w.check.is_some() {
+        // Snapshot the other nodes' copies at install time so the checker
+        // can validate MSI legality (single writer, no writer under readers).
+        let mut readers = Vec::new();
+        let mut writers = Vec::new();
+        for n in 0..w.cfg.nodes {
+            if n == me {
+                continue;
+            }
+            match w.access.get(n, b) {
+                Access::Read => readers.push(n),
+                Access::ReadWrite => writers.push(n),
+                Access::Invalid => {}
+            }
+        }
+        let now = s.now();
+        if let Some(c) = w.check.as_deref_mut() {
+            c.sc_install(me, b, exclusive, &readers, &writers, now);
+        }
+    }
     w.nodes[me].pending_fault = None;
     if exclusive {
         if me == home {

@@ -278,6 +278,9 @@ fn serve(
             // Migrate ownership: bump the version, keep a read-only copy.
             w.sw.version[b] += 1;
             let v = w.sw.version[b];
+            if let Some(c) = w.check.as_deref_mut() {
+                c.sw_version(b, v, at);
+            }
             w.sw.owner[b] = None;
             w.sw.in_transfer[b] = Some(from);
             w.sw.set_hint(me, b, from, v);
@@ -346,6 +349,9 @@ pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b
     w.sw.owner[b] = Some(me);
     w.sw.in_transfer[b] = None;
     w.sw.version[b] = 1;
+    if let Some(c) = w.check.as_deref_mut() {
+        c.sw_version(b, 1, s.now());
+    }
     w.sw.set_copy_version(me, b, 1);
     w.sw.set_hint(me, b, me, 1);
     w.homes.learn(me, b, me);
@@ -402,17 +408,45 @@ pub fn local_reenable(w: &mut ProtoWorld, me: NodeId, b: BlockId) -> Time {
 /// taken from the node's dirty list and filtered to this protocol by the
 /// caller). Returns the interval's write notices. (Interval index was
 /// already ticked by the caller.)
-pub fn release_dirty(w: &mut ProtoWorld, me: NodeId, dirty: Vec<BlockId>) -> Vec<Notice> {
+pub fn release_dirty(
+    w: &mut ProtoWorld,
+    me: NodeId,
+    dirty: Vec<BlockId>,
+    now: Time,
+) -> Vec<Notice> {
     let mut notices = std::mem::take(&mut w.sw.pending_notices[me]);
+    if let Some(c) = w.check.as_deref_mut() {
+        // Notices deferred across a mid-interval migration: already
+        // versioned at migration time, re-announced here.
+        for n in &notices {
+            c.sw_notice(me, n.block, n.version, false, now);
+        }
+    }
     notices.reserve(dirty.len());
     for b in dirty {
         debug_assert!(w.sw.is_owner(me, b), "dirty block not owned at release");
-        w.sw.version[b] += 1;
+        #[allow(unused_mut)]
+        let mut bump = true;
+        #[cfg(feature = "mutate")]
+        if let Some(m) = w.mutate.as_mut() {
+            // Publish a notice that reuses the block's current version:
+            // readers holding that version skip the invalidation and keep
+            // reading stale data.
+            if m.fire_if(crate::mutate::Mutation::SwStaleVersion, true) {
+                bump = false;
+            }
+        }
+        if bump {
+            w.sw.version[b] += 1;
+        }
         let v = w.sw.version[b];
         w.sw.set_copy_version(me, b, v);
         w.sw.set_hint(me, b, me, v);
         if w.access.get(me, b) == Access::ReadWrite {
             w.access.set(me, b, Access::Read);
+        }
+        if let Some(c) = w.check.as_deref_mut() {
+            c.sw_notice(me, b, v, true, now);
         }
         notices.push(Notice {
             block: b,
@@ -570,7 +604,7 @@ mod tests {
         w.access.set(1, 0, Access::ReadWrite);
         w.nodes[1].mark_dirty(0);
         let dirty = std::mem::take(&mut w.nodes[1].dirty);
-        let notices = release_dirty(&mut w, 1, dirty);
+        let notices = release_dirty(&mut w, 1, dirty, 0);
         assert_eq!(notices.len(), 1);
         assert_eq!(
             notices[0],

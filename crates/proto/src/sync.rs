@@ -79,6 +79,9 @@ pub fn lock_acquire_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId,
 /// actions: diffing, versioning); the release message is already in flight.
 pub fn lock_release_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, l: usize) -> Time {
     let elapsed = lrc::release_actions(w, s, me);
+    if let Some(c) = w.check.as_deref_mut() {
+        c.lock_release(me, l, &w.nodes[me].vt, s.now());
+    }
     let mgr = lock_manager(w, l);
     let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
@@ -109,6 +112,9 @@ pub fn barrier_arrive_start(
 ) -> Time {
     w.stats[me].barriers += 1;
     let elapsed = lrc::release_actions(w, s, me);
+    if let Some(c) = w.check.as_deref_mut() {
+        c.bar_arrive(me, bar, s.now());
+    }
     let mgr = barrier_manager(w, bar);
     let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
     let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
@@ -158,6 +164,20 @@ pub fn handle_lock_rel(
     l: usize,
     vt: Option<VClock>,
 ) {
+    #[cfg(feature = "mutate")]
+    let vt = {
+        let mut vt = vt;
+        if let Some(m) = w.mutate.as_mut() {
+            // The manager records a stale release time, forgetting the
+            // releaser's final interval (and with it that interval's
+            // notices in later grants).
+            let eligible = vt.as_ref().is_some_and(|v| v.get(from) > 0);
+            if m.fire_if(crate::mutate::Mutation::LockStaleVt, eligible) {
+                vt.as_mut().unwrap().rollback(from);
+            }
+        }
+        vt
+    };
     let lock = w.lock_mut(l);
     debug_assert!(lock.held && lock.holder == from, "release by non-holder");
     lock.last_vt = vt;
@@ -180,13 +200,25 @@ fn send_grant(
     l: usize,
     req_vt: Option<VClock>,
 ) {
-    let (vt, notices) = match (&w.locks[l].last_vt, req_vt) {
+    #[allow(unused_mut)]
+    let (vt, mut notices) = match (&w.locks[l].last_vt, req_vt) {
         (Some(last), Some(req)) => {
             let missing = VClock::missing_intervals(&req, last);
             (Some(last.clone()), w.log.collect(&missing))
         }
         (last, _) => (last.clone(), Vec::new()),
     };
+    #[cfg(feature = "mutate")]
+    if let Some(m) = w.mutate.as_mut() {
+        // A grant that loses one of the write notices the acquirer is
+        // causally owed.
+        if m.fire_if(
+            crate::mutate::Mutation::DropWriteNotice,
+            !notices.is_empty(),
+        ) {
+            notices.pop();
+        }
+    }
     w.stats[me].write_notices_sent += notices.len() as u64;
     if !notices.is_empty() {
         w.obs.record(
@@ -221,10 +253,15 @@ pub fn handle_lock_grant(
     w: &mut ProtoWorld,
     s: &mut Sched<Packet>,
     me: NodeId,
-    _l: usize,
+    l: usize,
     vt: Option<VClock>,
     notices: Vec<Notice>,
 ) {
+    if let Some(c) = w.check.as_deref_mut() {
+        // `w.nodes[me].vt` is still the request-time clock: the acquirer
+        // has been blocked since it sent the request.
+        c.lock_acquire(me, l, vt.as_ref(), &notices, &w.nodes[me].vt, s.now());
+    }
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
     s.wake(me, s.now() + w.cfg.cost.handler_ns + elapsed);
 }
@@ -301,10 +338,32 @@ pub fn handle_bar_release(
     w: &mut ProtoWorld,
     s: &mut Sched<Packet>,
     me: NodeId,
-    _bar: usize,
+    bar: usize,
     vt: Option<VClock>,
     notices: Vec<Notice>,
 ) {
+    #[allow(unused_mut)]
+    let mut skip_join = false;
+    #[cfg(feature = "mutate")]
+    if me == 0 {
+        if let Some(m) = w.mutate.as_mut() {
+            // Node 0's detector misses the barrier's happens-before join
+            // (sticky): a cross-node access pair ordered only by this
+            // barrier must then surface as a race.
+            skip_join = m.fire_sticky(crate::mutate::Mutation::HbSkipBarrier);
+        }
+    }
+    if let Some(c) = w.check.as_deref_mut() {
+        c.bar_pass(
+            me,
+            bar,
+            vt.as_ref(),
+            &notices,
+            &w.nodes[me].vt,
+            skip_join,
+            s.now(),
+        );
+    }
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
     s.wake(me, s.now() + w.cfg.cost.handler_ns + elapsed);
 }

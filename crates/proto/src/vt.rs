@@ -33,10 +33,21 @@ impl VClock {
     }
 
     /// Increment node `i`'s own component (start of a new interval) and
-    /// return the new interval index.
+    /// return the new interval index. Saturates at `u32::MAX` rather than
+    /// wrapping: a wrapped component would re-order intervals, while a
+    /// saturated one merely stops distinguishing new ones (unreachable in
+    /// practice — it needs four billion releases by one node).
     pub fn tick(&mut self, i: usize) -> u32 {
-        self.0[i] += 1;
+        self.0[i] = self.0[i].saturating_add(1);
         self.0[i]
+    }
+
+    /// Roll component `i` back one interval. Only used by the
+    /// `lock-stale-vt` mutation self-test; never part of protocol
+    /// operation.
+    #[cfg(feature = "mutate")]
+    pub fn rollback(&mut self, i: usize) {
+        self.0[i] -= 1;
     }
 
     /// Element-wise maximum: merge knowledge from another clock.
@@ -136,5 +147,80 @@ mod tests {
         m.merge(&b);
         assert!(m.dominates(&a));
         assert!(m.dominates(&b));
+    }
+
+    /// Build a clock with the given components (test-only shorthand).
+    fn vc(components: &[u32]) -> VClock {
+        let mut v = VClock::new(components.len());
+        for (i, &k) in components.iter().enumerate() {
+            for _ in 0..k {
+                v.tick(i);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn tick_saturates_instead_of_wrapping() {
+        let mut near = VClock(vec![u32::MAX - 1, 0]);
+        assert_eq!(near.tick(0), u32::MAX);
+        assert_eq!(near.tick(0), u32::MAX, "tick at ceiling saturates");
+        assert!(near.dominates(&vc(&[7, 0])), "saturated clock still orders");
+        // A wrapped component would have destroyed the order instead.
+        assert!(!vc(&[7, 0]).dominates(&near));
+    }
+
+    #[test]
+    fn incomparable_clocks_join_to_componentwise_max() {
+        let a = vc(&[3, 0, 1]);
+        let b = vc(&[1, 2, 0]);
+        assert!(!a.dominates(&b) && !b.dominates(&a), "a, b incomparable");
+        let mut j = a.clone();
+        j.merge(&b);
+        assert_eq!((j.get(0), j.get(1), j.get(2)), (3, 2, 1));
+        // Joining incomparable clocks yields strictly more knowledge than
+        // either side alone.
+        assert!(j.dominates(&a) && j.dominates(&b));
+        assert_ne!(j, a);
+        assert_ne!(j, b);
+        // And missing_intervals is symmetric-difference-shaped: each side
+        // is missing exactly the other's exclusive intervals.
+        assert_eq!(VClock::missing_intervals(&a, &j), vec![(1, 1), (1, 2)]);
+        assert_eq!(
+            VClock::missing_intervals(&b, &j),
+            vec![(0, 2), (0, 3), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn join_is_a_least_upper_bound_on_random_clocks() {
+        // Fixed-seed property test: for random clocks a, b and a random
+        // upper bound u of both, join(a, b) dominates a and b and is
+        // dominated by u — i.e. it is the *least* upper bound.
+        use dsm_sim::rng::mix64;
+        let n = 5;
+        for case in 0..500u64 {
+            let comp = |lane: u64, i: usize| (mix64(case ^ mix64(lane ^ i as u64)) % 8) as u32;
+            let a = vc(&(0..n).map(|i| comp(1, i)).collect::<Vec<_>>());
+            let b = vc(&(0..n).map(|i| comp(2, i)).collect::<Vec<_>>());
+            let mut j = a.clone();
+            j.merge(&b);
+            assert!(
+                j.dominates(&a) && j.dominates(&b),
+                "case {case}: upper bound"
+            );
+            // Any other upper bound u >= a, b also satisfies u >= join.
+            let u = vc(&(0..n)
+                .map(|i| a.get(i).max(b.get(i)) + comp(3, i))
+                .collect::<Vec<_>>());
+            assert!(u.dominates(&j), "case {case}: least among upper bounds");
+            // Idempotent and commutative.
+            let mut j2 = b.clone();
+            j2.merge(&a);
+            assert_eq!(j, j2, "case {case}: commutative");
+            let mut j3 = j.clone();
+            j3.merge(&j);
+            assert_eq!(j3, j, "case {case}: idempotent");
+        }
     }
 }

@@ -9,10 +9,12 @@ use dsm_obs::{EventKind, Recorder, SharingProfile};
 use dsm_sim::{NodeId, Sched, Time, World};
 use dsm_stats::{Counters, RegionCounters};
 
+use crate::check::Checker;
 use crate::config::{ProtoConfig, Protocol};
 use crate::hlrc::HlState;
 use crate::lrc::NoticeLog;
 use crate::msg::{Envelope, FaultKind, Packet, ProtoMsg};
+use crate::mutate::MutRt;
 use crate::pool::{BufPool, TwinTable};
 use crate::sc::ScState;
 use crate::swlrc::SwState;
@@ -113,6 +115,14 @@ pub struct ProtoWorld {
     pub pool: BufPool,
     /// The network fabric (NI queues, fault injector, retransmission).
     pub fabric: Fabric<Envelope>,
+    /// Installed run-time checker, if any. All hook sites are a single
+    /// `is_some` test when absent, and the checker never charges virtual
+    /// time, so runs with no checker are bit-identical to builds without
+    /// one.
+    pub check: Option<Box<dyn Checker>>,
+    /// Armed protocol mutation (checker self-tests). The mutation *sites*
+    /// only exist under the `mutate` feature.
+    pub mutate: Option<MutRt>,
     /// Virtual time of the last application-level activity (an envelope
     /// delivered or a node clock advance). With the reliable fabric,
     /// pending retransmission timers drain past the application's real
@@ -158,6 +168,8 @@ impl ProtoWorld {
             has_lrc,
             pool: BufPool::default(),
             fabric: Fabric::new(cfg.fabric.clone(), n),
+            check: None,
+            mutate: cfg.mutation.map(|(m, seed)| MutRt::new(m, seed)),
             quiesce: 0,
             cfg,
         }
@@ -369,6 +381,23 @@ impl ProtoWorld {
             self.stats[to].fabric_acks += 1;
             let ack_wire = self.cfg.latency.one_way(self.cfg.fabric.retry.ack_bytes);
             s.post(src, at + ack_wire, Packet::Ack { from: to, seq });
+        }
+        #[allow(unused_mut)]
+        let mut posted = deliver.len();
+        #[cfg(feature = "mutate")]
+        if let Some(m) = self.mutate.as_mut() {
+            use crate::mutate::Mutation;
+            // Model a misbehaving transport: a duplicate slipping past
+            // suppression, or a held out-of-order frame released early.
+            // Only the delivery report is corrupted; see `crate::mutate`.
+            if m.fire_if(Mutation::FabricDupDeliver, duplicate)
+                || m.fire_if(Mutation::FabricReorder, !duplicate && deliver.is_empty())
+            {
+                posted += 1;
+            }
+        }
+        if let Some(c) = self.check.as_deref_mut() {
+            c.fabric_frame(src, to, seq, duplicate, posted, now);
         }
         for (at, env) in deliver {
             s.post(to, at, Packet::App(env));

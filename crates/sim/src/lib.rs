@@ -23,6 +23,7 @@
 
 pub mod engine;
 pub mod queue;
+pub mod rng;
 pub mod time;
 
 pub use engine::{run_cluster, run_cluster_counted, NodeCtx, Sched, World};
