@@ -8,6 +8,10 @@
 //! * **single cell** — LU / HLRC @ 4096 (standard size), best of three
 //!   runs: the simulation hot path (event queue, diffing, protocol tables)
 //!   with no sweep-executor effects;
+//! * **single cell, observability on** — the same cell with event
+//!   recording, causal span tracing and windowed series enabled: the
+//!   recorder/span overhead, reported as a percentage (and asserted
+//!   bit-identical in modeled behavior — same event count);
 //! * **mini-sweep serial** — 18 cells (lu, fft, water-nsquared × all three
 //!   protocols × {256, 4096} bytes) on one worker;
 //! * **mini-sweep parallel** — the same 18 cells on the default worker
@@ -75,6 +79,38 @@ fn main() {
          = {single_eps:.0} events/sec"
     );
 
+    // The same cell with the full observability stack on (recorder + spans
+    // + series). The hooks must never change modeled behavior, so the event
+    // count is asserted identical; the throughput delta is the honest cost
+    // of leaving observability enabled.
+    let mut obs_best_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let cfg = dsm_core::RunConfig::new(Protocol::Hlrc, 4096)
+            .with_recording()
+            .with_spans()
+            .with_series(1_000_000);
+        let program = dsm_apps::app_sized("lu", AppSize::Standard).unwrap();
+        let t0 = Instant::now();
+        let r = dsm_core::run_experiment(&cfg, program);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(r.check.is_ok(), "obs-on cell failed verification");
+        assert_eq!(
+            r.stats.sim_events, events,
+            "observability hooks changed the simulation event count"
+        );
+        assert!(
+            r.obs.spans.as_ref().is_some_and(|s| !s.is_empty()),
+            "spans enabled but none recorded"
+        );
+        obs_best_secs = obs_best_secs.min(secs);
+    }
+    let obs_eps = events as f64 / obs_best_secs;
+    let obs_overhead_pct = 100.0 * (obs_best_secs / best_secs - 1.0);
+    println!(
+        "single cell, observability on: {events} events in {obs_best_secs:.3}s best-of-3 \
+         = {obs_eps:.0} events/sec ({obs_overhead_pct:+.1}% vs off, bit-identical events)"
+    );
+
     // Mini-sweep, serial then parallel; must be bit-identical.
     let specs = mini_sweep_specs();
     let t0 = Instant::now();
@@ -121,6 +157,11 @@ fn main() {
     out.set("single_cell_events", events);
     out.set("single_cell_secs", format!("{best_secs:.3}").as_str());
     out.set("single_cell_events_per_sec", single_eps as u64);
+    out.set("obs_on_events_per_sec", obs_eps as u64);
+    out.set(
+        "obs_overhead_pct",
+        format!("{obs_overhead_pct:.1}").as_str(),
+    );
     out.set("mini_sweep_cells", specs.len() as u64);
     out.set("mini_sweep_events", sweep_events);
     out.set(

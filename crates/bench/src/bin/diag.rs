@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! diag [APP] [PROTOCOL] [BLOCK] [--json] [--check] [--trace FILE]
+//!      [--critpath] [--series WINDOW_US]
 //!      [--adaptive] [--sweep] [--jobs N] [--fabric SPEC]
 //! ```
 //!
@@ -24,11 +25,19 @@
 //! `--fabric SPEC` selects the network fabric model (`ideal`, `contended`,
 //! or `faulty[,seed=..,drop=..,...]`; same grammar as the `DSM_FABRIC`
 //! environment variable, which the flag overrides).
+//! `--critpath` enables causal span tracing, extracts the critical path
+//! that determined the parallel time, and prints the per-category
+//! attribution (one `"critpath"` JSONL record under `--json`). The
+//! attribution must sum to the parallel time exactly; the tool exits
+//! nonzero if it does not, or if the run produced no spans.
+//! `--series WINDOW_US` collects windowed per-node time-series counters at
+//! the given window width and prints them (schema-versioned `"series"`
+//! JSONL records under `--json`).
 use dsm_adapt::{choose_policies, profile_run, ModelParams, RegionDecision};
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, ExperimentResult, FabricConfig, Protocol, RegionReport, RunConfig};
 use dsm_json::Value;
-use dsm_obs::{chrome_trace, jsonl_metrics, TimeBreakdown};
+use dsm_obs::{chrome_trace, critical_path, jsonl_metrics, series_jsonl, TimeBreakdown};
 
 /// One JSONL record per region: policy, profiled stats, measured counters.
 fn region_record(r: &RegionReport, decision: Option<&RegionDecision>) -> Value {
@@ -138,6 +147,8 @@ fn main() {
     let mut sweep = false;
     let mut trace_path: Option<String> = None;
     let mut fabric_spec: Option<String> = None;
+    let mut critpath = false;
+    let mut series_us: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -145,6 +156,18 @@ fn main() {
             "--check" => check = true,
             "--adaptive" => adaptive = true,
             "--sweep" => sweep = true,
+            "--critpath" => critpath = true,
+            "--series" => {
+                series_us = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&w| w >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--series requires a window width in microseconds");
+                            std::process::exit(2);
+                        }),
+                )
+            }
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--trace requires a file path");
@@ -220,7 +243,34 @@ fn main() {
     if trace_path.is_some() {
         cfg = cfg.with_recording();
     }
+    if critpath {
+        cfg = cfg.with_spans();
+    }
+    if let Some(us) = series_us {
+        cfg = cfg.with_series(us * 1_000);
+    }
     let r = run_experiment(&cfg, program);
+
+    // Critical-path extraction happens up front so a broken attribution
+    // (non-exact sum, or a spans-on run yielding no spans) fails loudly in
+    // both output modes.
+    let cp = if critpath {
+        let cp = critical_path(&r.obs, r.stats.parallel_time_ns).unwrap_or_else(|| {
+            eprintln!("--critpath: run produced no span events");
+            std::process::exit(1);
+        });
+        if !cp.is_exact() {
+            eprintln!(
+                "--critpath: attribution {}ns does not match parallel time {}ns",
+                cp.attributed_ns(),
+                cp.parallel_time_ns
+            );
+            std::process::exit(1);
+        }
+        Some(cp)
+    } else {
+        None
+    };
 
     if let Some(path) = &trace_path {
         std::fs::write(path, chrome_trace(&r.obs)).unwrap_or_else(|e| {
@@ -270,6 +320,12 @@ fn main() {
             println!("{rec}");
         }
         print!("{}", jsonl_metrics(&r.obs, &r.stats));
+        if let Some(cp) = &cp {
+            println!("{}", cp.to_json(10));
+        }
+        if series_us.is_some() {
+            print!("{}", series_jsonl(&r.obs));
+        }
         if !r.violations.is_empty() {
             std::process::exit(1);
         }
@@ -334,6 +390,52 @@ fn main() {
         );
     }
     print_regions(&r, &decisions);
+    if let Some(cp) = &cp {
+        println!(
+            "  critical path: {} segments over {} span events (parallel {:.1}ms, \
+             speedup bound {:.2}{})",
+            cp.segments.len(),
+            cp.span_events,
+            cp.parallel_time_ns as f64 / 1e6,
+            cp.speedup_bound(),
+            if cp.truncated { ", TRUNCATED" } else { "" }
+        );
+        for (name, ns) in dsm_obs::Category::NAMES.iter().zip(cp.by_category.iter()) {
+            if *ns > 0 {
+                println!(
+                    "    {:<16} {:>9.2}ms ({:>5.1}%)",
+                    name,
+                    *ns as f64 / 1e6,
+                    100.0 * *ns as f64 / cp.parallel_time_ns.max(1) as f64
+                );
+            }
+        }
+        for seg in cp.top_segments(5) {
+            println!(
+                "    top: node {} [{}..{}] {} {:.2}ms ({})",
+                seg.node,
+                seg.start,
+                seg.end,
+                seg.category.name(),
+                seg.dur() as f64 / 1e6,
+                seg.label
+            );
+        }
+    }
+    if let Some(sr) = &r.obs.series {
+        let windows: usize = sr
+            .nodes
+            .iter()
+            .map(|n| n.buckets.iter().filter(|b| !b.is_empty()).count())
+            .sum();
+        println!(
+            "  series: {} non-empty windows across {} nodes at {}us \
+             (use --json for the records)",
+            windows,
+            sr.nodes.len(),
+            sr.window_ns / 1_000
+        );
+    }
     // Average the paper-style breakdown over the cluster.
     let nodes = r.stats.per_node.len().max(1);
     let wall: u64 = r.obs.nodes.iter().map(|n| n.wall_ns()).sum::<u64>() / nodes as u64;

@@ -4,8 +4,10 @@
 //! probe [--json] [APP ...]
 //! ```
 //!
-//! Human-readable tables by default; `--json` emits one JSON line per
-//! (app, protocol, granularity) cell.
+//! Human-readable tables by default; `--json` emits one schema-versioned
+//! `"cell"` record per (app, protocol, granularity) cell, in the same
+//! JSON-Lines dialect as `diag --json` (every record is self-describing
+//! via `type` and `schema` fields).
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, Protocol, RunConfig};
 use dsm_json::Value;
@@ -39,6 +41,8 @@ fn main() {
                 let elapsed = t0.elapsed().as_secs_f64();
                 if json {
                     let mut v = Value::obj();
+                    v.set("type", "cell");
+                    v.set("schema", 1u32);
                     v.set("app", name.as_str());
                     v.set("protocol", p.name());
                     v.set("block", g);

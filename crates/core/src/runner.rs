@@ -94,7 +94,10 @@ impl RunConfig {
             cost: CostModel::default(),
             latency: LatencyModel::default(),
             first_touch: true,
-            obs: ObsConfig::default(),
+            obs: ObsConfig {
+                spans: std::env::var("DSM_SPANS").is_ok_and(|v| !v.is_empty() && v != "0"),
+                ..ObsConfig::default()
+            },
             fabric: FabricConfig::ideal(),
             check: std::env::var("DSM_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"),
             mutation: None,
@@ -133,7 +136,28 @@ impl RunConfig {
 
     /// Same configuration with full event recording enabled.
     pub fn with_recording(mut self) -> Self {
-        self.obs = ObsConfig::recording();
+        let spans = self.obs.spans;
+        let series_window_ns = self.obs.series_window_ns;
+        self.obs = ObsConfig {
+            spans,
+            series_window_ns,
+            ..ObsConfig::recording()
+        };
+        self
+    }
+
+    /// Same configuration with causal span tracing enabled (also settable
+    /// via the `DSM_SPANS` environment variable). Spans never charge
+    /// virtual time: results stay bit-identical to a spans-off run.
+    pub fn with_spans(mut self) -> Self {
+        self.obs.spans = true;
+        self
+    }
+
+    /// Same configuration with windowed time-series collection enabled at
+    /// the given window width (virtual nanoseconds).
+    pub fn with_series(mut self, window_ns: u64) -> Self {
+        self.obs.series_window_ns = window_ns;
         self
     }
 

@@ -105,6 +105,7 @@ impl<'a> DsmThread<'a> {
                     dur: dt,
                 },
             );
+            w.obs.span_wait(me, s.now(), dt, dsm_obs::WaitKind::Fetch);
         });
     }
 
@@ -248,6 +249,7 @@ impl Dsm for DsmThread<'_> {
             w.stats[me].lock_wait_ns += dt;
             w.obs
                 .record(me, s.now(), EventKind::LockWait { lock: l, dur: dt });
+            w.obs.span_wait(me, s.now(), dt, dsm_obs::WaitKind::Lock);
         });
     }
 
@@ -290,6 +292,7 @@ impl Dsm for DsmThread<'_> {
                     dur: dt,
                 },
             );
+            w.obs.span_wait(me, s.now(), dt, dsm_obs::WaitKind::Barrier);
         });
     }
 }

@@ -9,6 +9,7 @@ use dsm_stats::RunStats;
 use crate::breakdown::TimeBreakdown;
 use crate::event::EventKind;
 use crate::recorder::{NodeObs, ObsReport};
+use crate::span::SpanEv;
 
 /// Serialize a recorded run as Chrome trace-event JSON.
 ///
@@ -17,6 +18,12 @@ use crate::recorder::{NodeObs, ObsReport};
 /// clock in microseconds. Duration events (faults, sync waits, compute
 /// segments) become complete (`"X"`) slices; the rest become instants
 /// (`"i"`).
+///
+/// When the report carries a span log, every cross-node message
+/// additionally becomes a flow-event pair (`"s"` on the sender track at
+/// departure, `"f"` on the destination track at dispatch, sharing the span
+/// id), each anchored in a 1 ns `send:`/`recv:` slice so Perfetto draws
+/// the arrow between the node tracks.
 pub fn chrome_trace(report: &ObsReport) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     let mut first = true;
@@ -74,7 +81,101 @@ pub fn chrome_trace(report: &ObsReport) -> String {
             push(&mut out, &line, &mut first);
         }
     }
+    if let Some(spans) = &report.spans {
+        let mut sends = std::collections::HashMap::new();
+        for ev in &spans.events {
+            if let SpanEv::Send {
+                id,
+                from,
+                to,
+                ts,
+                class,
+                ..
+            } = *ev
+            {
+                if from != to {
+                    sends.insert(id, (from, to, ts, class));
+                }
+            }
+        }
+        for ev in &spans.events {
+            let SpanEv::Recv { id, node, ts: rts } = *ev else {
+                continue;
+            };
+            let Some(&(from, to, sts, class)) = sends.get(&id) else {
+                continue;
+            };
+            debug_assert_eq!(node, to);
+            let name = class.name();
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{from},\"name\":\"send:{name}\",\
+                     \"ts\":{},\"dur\":0.001,\"args\":{{\"span\":{id},\"to\":{to}}}}}",
+                    us(sts)
+                ),
+                &mut first,
+            );
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"s\",\"pid\":1,\"tid\":{from},\"cat\":\"span\",\
+                     \"name\":\"{name}\",\"id\":{id},\"ts\":{}}}",
+                    us(sts)
+                ),
+                &mut first,
+            );
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{to},\"name\":\"recv:{name}\",\
+                     \"ts\":{},\"dur\":0.001,\"args\":{{\"span\":{id},\"from\":{from}}}}}",
+                    us(rts)
+                ),
+                &mut first,
+            );
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{to},\"cat\":\"span\",\
+                     \"name\":\"{name}\",\"id\":{id},\"ts\":{}}}",
+                    us(rts)
+                ),
+                &mut first,
+            );
+        }
+    }
     out.push_str("\n]}\n");
+    out
+}
+
+/// Windowed time-series as schema-versioned JSONL: one `"series"` record
+/// per non-empty window per node. Empty when the report has no series.
+pub fn series_jsonl(report: &ObsReport) -> String {
+    let mut out = String::new();
+    let Some(series) = &report.series else {
+        return out;
+    };
+    for (node, ns) in series.nodes.iter().enumerate() {
+        for (i, b) in ns.buckets.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            let mut v = Value::obj();
+            v.set("type", "series");
+            v.set("schema", 1u32);
+            v.set("node", node);
+            v.set("window", i);
+            v.set("window_ns", series.window_ns);
+            v.set("start_ns", ns.base_ns + i as u64 * series.window_ns);
+            v.set("msgs", b.msgs);
+            v.set("faults", b.faults);
+            v.set("diff_bytes", b.diff_bytes);
+            v.set("stall_ns", b.stall_ns);
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+    }
     out
 }
 
@@ -211,6 +312,7 @@ mod tests {
         let cfg = ObsConfig {
             record_events: true,
             ring_capacity: 128,
+            ..ObsConfig::default()
         };
         let mut r = Recorder::with_trace(2, &cfg, TraceFilter::Off);
         r.note_begin(0, 0);
@@ -313,6 +415,147 @@ mod tests {
             .unwrap();
         assert!((fault.get("ts").unwrap().as_f64().unwrap() - 0.1).abs() < 1e-9);
         assert!((fault.get("dur").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_pairs_for_spans() {
+        use crate::span::{SpanClass, SpanLog};
+        let mut report = sample_report();
+        let mut log = SpanLog::new();
+        let fetch = log.send(0, 1, 1000, 500, SpanClass::Fetch);
+        log.recv(1, 1500, fetch);
+        let lock = log.send(1, 0, 2000, 500, SpanClass::Lock);
+        log.recv(0, 2500, lock);
+        let selfsend = log.send(0, 0, 3000, 0, SpanClass::Fetch);
+        log.recv(0, 3000, selfsend);
+        report.spans = Some(log);
+        let text = chrome_trace(&report);
+        let v = Value::parse(&text).expect("trace with flows must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        for (name, id, from, to) in [("fetch", fetch, 0u64, 1u64), ("lock", lock, 1, 0)] {
+            let s = events
+                .iter()
+                .find(|e| {
+                    e.get("ph").unwrap().as_str() == Some("s")
+                        && e.get("name").unwrap().as_str() == Some(name)
+                })
+                .unwrap_or_else(|| panic!("missing flow start for {name}"));
+            let f = events
+                .iter()
+                .find(|e| {
+                    e.get("ph").unwrap().as_str() == Some("f")
+                        && e.get("name").unwrap().as_str() == Some(name)
+                })
+                .unwrap_or_else(|| panic!("missing flow finish for {name}"));
+            assert_eq!(s.u64_field("id"), Some(id));
+            assert_eq!(f.u64_field("id"), Some(id));
+            assert_eq!(s.u64_field("tid"), Some(from));
+            assert_eq!(f.u64_field("tid"), Some(to));
+            assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        }
+        // Self-sends never become arrows.
+        assert!(!events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("s") && e.u64_field("id") == Some(selfsend)
+        }));
+        // Both flow endpoints are anchored in slices at the same ts.
+        assert!(events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str() == Some("send:fetch")
+        }));
+        assert!(events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str() == Some("recv:lock")
+        }));
+    }
+
+    #[test]
+    fn series_jsonl_emits_schema_versioned_records() {
+        let cfg = ObsConfig {
+            record_events: true,
+            ring_capacity: 128,
+            series_window_ns: 1000,
+            ..ObsConfig::default()
+        };
+        let mut r = Recorder::with_trace(2, &cfg, TraceFilter::Off);
+        r.note_begin(0, 0);
+        r.note_begin(1, 0);
+        r.record(
+            0,
+            100,
+            EventKind::MsgSend {
+                to: 1,
+                tag: "ScFetch",
+                block: Some(3),
+                ctrl: 16,
+                data: 0,
+            },
+        );
+        r.record(
+            0,
+            2600,
+            EventKind::FaultEnd {
+                block: 3,
+                write: false,
+                dur: 2500,
+            },
+        );
+        let report = r.take_report();
+        let text = series_jsonl(&report);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Value::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("series"));
+        assert_eq!(first.u64_field("schema"), Some(1));
+        assert_eq!(first.u64_field("node"), Some(0));
+        assert_eq!(first.u64_field("window"), Some(0));
+        assert_eq!(first.u64_field("msgs"), Some(1));
+        let second = Value::parse(lines[1]).unwrap();
+        assert_eq!(second.u64_field("window"), Some(2));
+        assert_eq!(second.u64_field("start_ns"), Some(2000));
+        assert_eq!(second.u64_field("faults"), Some(1));
+        assert_eq!(second.u64_field("stall_ns"), Some(2500));
+    }
+
+    #[test]
+    fn jsonl_string_escaping_round_trips_through_parser() {
+        // The JSONL records we emit embed strings (tags, app names,
+        // fabric specs). Anything that can appear there must survive a
+        // serialize → parse round-trip through the in-tree parser.
+        let nasty = [
+            "plain",
+            "quote\"inside",
+            "back\\slash",
+            "both\\\"mixed\\\"",
+            "new\nline",
+            "tab\tand\rreturn",
+            "ctrl\u{1}\u{2}\u{1f}chars",
+            "trailing backslash\\",
+            "",
+        ];
+        for s in nasty {
+            let mut v = Value::obj();
+            v.set("type", "escape_test");
+            v.set("payload", s);
+            let line = v.to_string();
+            assert!(
+                !line.contains('\n'),
+                "JSONL line must stay one line: {line:?}"
+            );
+            let back = Value::parse(&line)
+                .unwrap_or_else(|e| panic!("reparse failed for {s:?}: {e:?} in {line}"));
+            assert_eq!(back.get("payload").unwrap().as_str(), Some(s));
+        }
+        // Array-of-strings round-trip, as used by sweep records.
+        let mut v = Value::obj();
+        v.set(
+            "items",
+            Value::Arr(nasty.iter().map(|s| Value::from(*s)).collect()),
+        );
+        let back = Value::parse(&v.to_string()).unwrap();
+        let items = back.get("items").unwrap().as_arr().unwrap();
+        for (got, want) in items.iter().zip(nasty) {
+            assert_eq!(got.as_str(), Some(want));
+        }
     }
 
     #[test]

@@ -101,6 +101,20 @@ impl Hist {
         *self = Hist::default();
     }
 
+    /// Fold another histogram into this one, as if every sample of
+    /// `other` had been [`Hist::add`]ed here. Merging an empty histogram
+    /// is a no-op (the empty-min sentinel never leaks into `min`), and
+    /// sums saturate like single-sample adds.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Encode as a JSON object. Buckets are emitted sparsely as
     /// `[lower_bound, count]` pairs for non-empty buckets only.
     pub fn to_json(&self) -> Value {
@@ -159,6 +173,73 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 22.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Hist::new();
+        for v in [0u64, 7, 300] {
+            h.add(v);
+        }
+        let before = h.clone();
+        // Non-empty ← empty: no-op; in particular the empty side's
+        // u64::MAX min sentinel must not clobber the real min.
+        h.merge(&Hist::new());
+        assert_eq!(h, before);
+        assert_eq!(h.min(), 0);
+        // Empty ← non-empty: becomes a copy.
+        let mut e = Hist::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+        assert_eq!(e.min(), 0);
+        assert_eq!(e.max(), 300);
+        // Empty ← empty stays empty (min() stays 0, not the sentinel).
+        let mut both = Hist::new();
+        both.merge(&Hist::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.min(), 0);
+    }
+
+    #[test]
+    fn merge_equals_adding_all_samples() {
+        let xs = [0u64, 1, 2, 9, 1 << 40];
+        let ys = [3u64, 3, u64::MAX, 17];
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for &v in &xs {
+            a.add(v);
+            all.add(v);
+        }
+        for &v in &ys {
+            b.add(v);
+            all.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_accumulates_overflow_bucket_and_saturates_sum() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.add(u64::MAX); // bucket 64
+        b.add(u64::MAX);
+        b.add(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), u64::MAX); // saturated, same as repeated add
+        assert_eq!(a.max(), u64::MAX);
+        let v = a.to_json();
+        let buckets = v.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        // The overflow bucket's lower bound exceeds i64::MAX, so the JSON
+        // encoder falls back to a float.
+        assert_eq!(
+            buckets[0].as_arr().unwrap()[0].as_f64(),
+            Some((1u64 << 63) as f64)
+        );
+        assert_eq!(buckets[0].as_arr().unwrap()[1].as_u64(), Some(3));
     }
 
     #[test]

@@ -13,25 +13,37 @@
 //!   the node's virtual wall time;
 //! * log2 [`Hist`]ograms for fault service latency, message and diff sizes;
 //! * exporters: Chrome trace-event JSON ([`chrome_trace`], loadable in
-//!   Perfetto with one track per simulated node on the virtual clock) and
-//!   JSONL metrics ([`jsonl_metrics`]).
+//!   Perfetto with one track per simulated node on the virtual clock, with
+//!   cross-node flow arrows when spans were recorded) and JSONL metrics
+//!   ([`jsonl_metrics`], [`series_jsonl`]);
+//! * causal [`SpanLog`] tracing of protocol transactions (same zero-cost
+//!   Option-hook pattern as the checker) and [`critical_path`] extraction
+//!   with per-category attribution that sums to parallel time exactly;
+//! * windowed time-series sampling ([`SeriesReport`]) of per-node counters
+//!   for phase detection.
 //!
 //! The old `DSM_TRACE` `eprintln!` hack is now a *view* over the event
 //! stream: when the env filter matches, events are also printed as they are
 //! recorded (see [`TraceFilter`]).
 
 pub mod breakdown;
+pub mod critpath;
 pub mod event;
 pub mod export;
 pub mod filter;
 pub mod hist;
 pub mod profile;
 pub mod recorder;
+pub mod series;
+pub mod span;
 
 pub use breakdown::TimeBreakdown;
+pub use critpath::{critical_path, Category, CritPath, CritSeg};
 pub use event::{Event, EventKind};
-pub use export::{chrome_trace, jsonl_metrics};
+pub use export::{chrome_trace, jsonl_metrics, series_jsonl};
 pub use filter::TraceFilter;
 pub use hist::Hist;
 pub use profile::{SharingProfile, PROFILE_UNIT};
 pub use recorder::{NodeObs, ObsConfig, ObsReport, Recorder};
+pub use series::{SeriesBucket, SeriesReport};
+pub use span::{SpanClass, SpanEv, SpanLog, WaitKind};

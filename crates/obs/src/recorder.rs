@@ -4,6 +4,8 @@
 use crate::event::{Event, EventKind};
 use crate::filter::TraceFilter;
 use crate::hist::Hist;
+use crate::series::{SeriesRec, SeriesReport};
+use crate::span::{SpanClass, SpanLog, WaitKind};
 
 /// Observability configuration, carried in the run configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +16,13 @@ pub struct ObsConfig {
     /// Capacity of each node's event ring. When full, the oldest events
     /// are overwritten and counted in `dropped`.
     pub ring_capacity: usize,
+    /// Record causal spans (message ids, causes, waits, wakes) for
+    /// critical-path extraction. Off by default: every span hook is a
+    /// single `is_some` test when disabled, and spans never charge
+    /// virtual time, so spans-off runs are bit-identical.
+    pub spans: bool,
+    /// Windowed time-series sampling width in virtual ns; 0 disables.
+    pub series_window_ns: u64,
 }
 
 impl Default for ObsConfig {
@@ -21,6 +30,8 @@ impl Default for ObsConfig {
         ObsConfig {
             record_events: false,
             ring_capacity: 65_536,
+            spans: false,
+            series_window_ns: 0,
         }
     }
 }
@@ -71,6 +82,10 @@ pub struct Recorder {
     cap: usize,
     trace: TraceFilter,
     nodes: Vec<NodeRec>,
+    /// Span log, present only when span recording is on.
+    spans: Option<Box<SpanLog>>,
+    /// Windowed sampler, present only when series collection is on.
+    series: Option<Box<SeriesRec>>,
 }
 
 impl Recorder {
@@ -84,10 +99,13 @@ impl Recorder {
     /// As [`Recorder::new`] with an explicit trace filter (for tests).
     pub fn with_trace(nodes: usize, cfg: &ObsConfig, trace: TraceFilter) -> Recorder {
         Recorder {
-            active: cfg.record_events || trace.is_on(),
+            active: cfg.record_events || trace.is_on() || cfg.series_window_ns > 0,
             store_events: cfg.record_events,
             cap: cfg.ring_capacity,
             trace,
+            spans: cfg.spans.then(|| Box::new(SpanLog::new())),
+            series: (cfg.series_window_ns > 0)
+                .then(|| Box::new(SeriesRec::new(nodes, cfg.series_window_ns))),
             nodes: vec![NodeRec::default(); nodes],
         }
     }
@@ -117,6 +135,9 @@ impl Recorder {
     fn record_slow(&mut self, node: usize, ts: u64, kind: EventKind) {
         if self.trace.matches(node, kind.block()) {
             eprintln!("[{ts:>12}] n{node}: {}", kind.describe());
+        }
+        if let Some(series) = self.series.as_deref_mut() {
+            series.add(node, ts, &kind);
         }
         let rec = &mut self.nodes[node];
         rec.counts[kind.index()] += 1;
@@ -157,11 +178,90 @@ impl Recorder {
         rec.queue_ns.reset();
         rec.begin_ns = ts;
         rec.end_ns = ts;
+        if let Some(series) = self.series.as_deref_mut() {
+            series.note_begin(node, ts);
+        }
     }
 
     /// Mark the end of the measured region on `node`.
     pub fn note_end(&mut self, node: usize, ts: u64) {
         self.nodes[node].end_ns = ts;
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.end(node, ts);
+        }
+    }
+
+    /// True when causal span recording is on.
+    #[inline]
+    pub fn spans_on(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Span hook: a message departs. Returns its span id (0 when spans are
+    /// off). `wire_ns` is the predicted uncontended one-way latency (0 for
+    /// self-sends).
+    #[inline]
+    pub fn span_send(
+        &mut self,
+        from: usize,
+        to: usize,
+        ts: u64,
+        wire_ns: u64,
+        class: SpanClass,
+    ) -> u64 {
+        match self.spans.as_deref_mut() {
+            Some(spans) => spans.send(from, to, ts, wire_ns, class),
+            None => 0,
+        }
+    }
+
+    /// Span hook: a message is dispatched to its handler; marks it the
+    /// current cause for sends and wakes the handler performs.
+    #[inline]
+    pub fn span_recv(&mut self, node: usize, ts: u64, id: u64) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.recv(node, ts, id);
+        }
+    }
+
+    /// Span hook: the current message handler finished.
+    #[inline]
+    pub fn span_dispatch_done(&mut self) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.dispatch_done();
+        }
+    }
+
+    /// Span hook: a blocked node is woken at `ts` by the current handler.
+    #[inline]
+    pub fn span_wake(&mut self, node: usize, ts: u64) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.wake(node, ts);
+        }
+    }
+
+    /// Span hook: the fabric retransmits the frame carrying span `id`.
+    #[inline]
+    pub fn span_retx(&mut self, id: u64, ts: u64) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.retx(id, ts);
+        }
+    }
+
+    /// Span hook: a node advanced its local clock over `[ts - dur, ts]`.
+    #[inline]
+    pub fn span_seg(&mut self, node: usize, ts: u64, dur: u64) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.seg(node, ts, dur);
+        }
+    }
+
+    /// Span hook: a blocking wait ended at `ts` after `dur` ns.
+    #[inline]
+    pub fn span_wait(&mut self, node: usize, ts: u64, dur: u64, kind: WaitKind) {
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.wait(node, ts, dur, kind);
+        }
     }
 
     /// Extract the collected observations, leaving the recorder empty.
@@ -186,7 +286,12 @@ impl Recorder {
                 }
             })
             .collect();
-        ObsReport { nodes, recorded }
+        ObsReport {
+            nodes,
+            recorded,
+            spans: self.spans.take().map(|b| *b),
+            series: self.series.take().map(|b| b.into_report()),
+        }
     }
 }
 
@@ -228,6 +333,10 @@ pub struct ObsReport {
     pub nodes: Vec<NodeObs>,
     /// True when event storage was enabled (rings are meaningful).
     pub recorded: bool,
+    /// Causal span log, when span recording was on.
+    pub spans: Option<SpanLog>,
+    /// Windowed time-series, when series collection was on.
+    pub series: Option<SeriesReport>,
 }
 
 #[cfg(test)]
@@ -238,6 +347,7 @@ mod tests {
         ObsConfig {
             record_events: true,
             ring_capacity: cap,
+            ..ObsConfig::default()
         }
     }
 

@@ -232,6 +232,7 @@ pub fn handle_data(
         }
     }
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 
@@ -247,6 +248,7 @@ pub fn handle_now_home(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b:
     w.nodes[me].mark_dirty(b);
     let at = s.now() + w.cfg.cost.handler_ns;
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 

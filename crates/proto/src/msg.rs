@@ -163,6 +163,10 @@ pub struct Envelope {
     pub msg: ProtoMsg,
     /// True once the service time has been computed (prevents re-deferral).
     pub deferred: bool,
+    /// Causal span id (0 when span tracing is off). Rides with the message
+    /// through fabric frames, retransmissions and deferral re-posts, so the
+    /// dispatch can be tied back to the send that caused it.
+    pub span: u64,
 }
 
 impl Envelope {
@@ -171,6 +175,7 @@ impl Envelope {
         Envelope {
             msg,
             deferred: false,
+            span: 0,
         }
     }
 
@@ -180,7 +185,14 @@ impl Envelope {
         Envelope {
             msg,
             deferred: true,
+            span: 0,
         }
+    }
+
+    /// Attach a causal span id.
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
     }
 }
 
@@ -287,6 +299,19 @@ impl ProtoMsg {
             | ProtoMsg::LockRel { .. }
             | ProtoMsg::BarArrive { .. }
             | ProtoMsg::BarRelease { .. } => None,
+        }
+    }
+
+    /// Coarse span class of this message, for critical-path category
+    /// attribution and flow-arrow naming: lock traffic, barrier traffic,
+    /// or data/coherence traffic (everything else).
+    pub fn span_class(&self) -> dsm_obs::SpanClass {
+        match self {
+            ProtoMsg::LockReq { .. } | ProtoMsg::LockGrant { .. } | ProtoMsg::LockRel { .. } => {
+                dsm_obs::SpanClass::Lock
+            }
+            ProtoMsg::BarArrive { .. } | ProtoMsg::BarRelease { .. } => dsm_obs::SpanClass::Barrier,
+            _ => dsm_obs::SpanClass::Fetch,
         }
     }
 

@@ -587,6 +587,7 @@ pub fn handle_grant(
         }
     }
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 
@@ -605,6 +606,7 @@ pub fn handle_now_home(
     let at = s.now() + w.cfg.cost.handler_ns;
     complete_transaction(w, s, me, b, at);
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 

@@ -341,6 +341,7 @@ pub fn handle_reply(
         w.access.set(me, b, Access::Read);
     }
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 
@@ -360,6 +361,7 @@ pub fn handle_now_owner(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId, b
     let at = s.now() + w.cfg.cost.handler_ns;
     drain_waiting(w, s, me, b, at);
     w.block_obtained(s, me);
+    w.obs.span_wake(me, at);
     s.wake(me, at);
 }
 

@@ -263,7 +263,9 @@ pub fn handle_lock_grant(
         c.lock_acquire(me, l, vt.as_ref(), &notices, &w.nodes[me].vt, s.now());
     }
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
-    s.wake(me, s.now() + w.cfg.cost.handler_ns + elapsed);
+    let at = s.now() + w.cfg.cost.handler_ns + elapsed;
+    w.obs.span_wake(me, at);
+    s.wake(me, at);
 }
 
 /// Barrier arrival at the manager.
@@ -365,7 +367,9 @@ pub fn handle_bar_release(
         );
     }
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
-    s.wake(me, s.now() + w.cfg.cost.handler_ns + elapsed);
+    let at = s.now() + w.cfg.cost.handler_ns + elapsed;
+    w.obs.span_wake(me, at);
+    s.wake(me, at);
 }
 
 #[cfg(test)]

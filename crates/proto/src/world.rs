@@ -271,7 +271,12 @@ impl ProtoWorld {
         msg: ProtoMsg,
     ) {
         if from == to {
-            s.post(to, depart, Packet::App(Envelope::immediate(msg)));
+            let span = self.obs.span_send(from, to, depart, 0, msg.span_class());
+            s.post(
+                to,
+                depart,
+                Packet::App(Envelope::immediate(msg).with_span(span)),
+            );
             return;
         }
         let st = &mut self.stats[from];
@@ -297,15 +302,25 @@ impl ProtoWorld {
         );
         let bytes = MSG_HEADER_BYTES + ctrl + data;
         let wire = self.cfg.latency.one_way(bytes);
+        let span = self.obs.span_send(from, to, depart, wire, msg.span_class());
         if self.cfg.fabric.is_ideal() {
             // The analytic fast path: one event per message, posted exactly
             // as before the fabric existed (bit-for-bit invariant).
-            s.post(to, depart + wire, Packet::App(Envelope::new(msg)));
+            s.post(
+                to,
+                depart + wire,
+                Packet::App(Envelope::new(msg).with_span(span)),
+            );
             return;
         }
-        let out = self
-            .fabric
-            .on_send(depart, from, to, bytes, wire, Envelope::new(msg));
+        let out = self.fabric.on_send(
+            depart,
+            from,
+            to,
+            bytes,
+            wire,
+            Envelope::new(msg).with_span(span),
+        );
         self.apply_tx(s, from, out);
     }
 
@@ -331,17 +346,22 @@ impl ProtoWorld {
                     attempt,
                     bytes,
                     payload,
-                } => s.post(
-                    to,
-                    at,
-                    Packet::Frame {
-                        src: from,
-                        seq,
-                        attempt,
-                        bytes,
-                        env: payload,
-                    },
-                ),
+                } => {
+                    if attempt > 0 {
+                        self.obs.span_retx(payload.span, at);
+                    }
+                    s.post(
+                        to,
+                        at,
+                        Packet::Frame {
+                            src: from,
+                            seq,
+                            attempt,
+                            bytes,
+                            env: payload,
+                        },
+                    )
+                }
                 TxAction::Timer {
                     at,
                     peer,
@@ -496,6 +516,7 @@ impl World for ProtoWorld {
                     Packet::App(Envelope {
                         msg: env.msg,
                         deferred: true,
+                        span: env.span,
                     }),
                 );
                 return;
@@ -519,6 +540,7 @@ impl World for ProtoWorld {
                 Packet::App(Envelope {
                     msg: env.msg,
                     deferred: true,
+                    span: env.span,
                 }),
             );
             return;
@@ -533,6 +555,13 @@ impl World for ProtoWorld {
                     block: env.msg.concerns_block(),
                 },
             );
+        }
+        // Final dispatch: record the span arrival (deferrals already
+        // applied) and make this message the causal parent of everything
+        // its handler sends or wakes.
+        if self.obs.spans_on() {
+            let now = s.now();
+            self.obs.span_recv(to, now, env.span);
         }
         let handler = self.cfg.cost.handler_ns;
         match env.msg {
@@ -646,12 +675,14 @@ impl World for ProtoWorld {
                 sync::handle_bar_release(self, s, to, barrier, vt, notices);
             }
         }
+        self.obs.span_dispatch_done();
     }
 
     fn on_advance(&mut self, node: NodeId, from: Time, to_t: Time) {
         self.quiesce = self.quiesce.max(to_t);
         self.obs
             .record(node, to_t, EventKind::Advance { dur: to_t - from });
+        self.obs.span_seg(node, to_t, to_t - from);
     }
 }
 
