@@ -1,0 +1,225 @@
+//! Randomized data-race-free program generator, promoted from the test
+//! suite to a first-class parameterized workload — the third "modern
+//! workload" family.
+//!
+//! The generator builds phase-structured programs: in each phase every word
+//! has exactly one writer (derived from the seed), writers read words
+//! written in the previous phase to compute their values (so data really
+//! flows through the protocols), phases are separated by barriers, and a
+//! sprinkle of lock-protected counters exercises the lock path. Any
+//! protocol bug that loses, reorders, or mixes writes shows up as a wrong
+//! final image.
+//!
+//! The program is double-buffered: each phase reads one buffer and writes
+//! the other, so no word is read while its phase-writer updates it. Reads
+//! between barriers of concurrently-written words would be data races that
+//! release consistency may legitimately resolve differently from the
+//! sequential run; double buffering keeps the program properly
+//! data-race-free while data still flows across nodes every phase.
+
+use dsm_core::{Dsm, DsmProgram, MemImage, RegionHint};
+
+use crate::util::XorShift;
+
+/// Canonical writer slots: writer assignments are drawn over this many
+/// slots and folded onto however many nodes actually run, so sequential
+/// and parallel runs do identical total work.
+pub const WRITER_SLOTS: usize = 16;
+
+/// Randomized DRF program: shape fully determined by the four parameters.
+#[derive(Debug, Clone)]
+pub struct RandomDrf {
+    /// Seed: selects writer assignments, initial data, and read patterns.
+    pub seed: u64,
+    /// Words per buffer.
+    pub words: usize,
+    /// Barrier-separated phases.
+    pub phases: usize,
+    /// Lock-protected shared counters.
+    pub locks: usize,
+}
+
+impl RandomDrf {
+    /// A generated program with the given shape.
+    pub fn new(seed: u64, words: usize, phases: usize, locks: usize) -> Self {
+        assert!(words >= 1 && phases >= 1);
+        RandomDrf {
+            seed,
+            words,
+            phases,
+            locks,
+        }
+    }
+
+    /// The canonical writer slot of `word` in `phase` (deterministic
+    /// pseudo-random assignment, same for all nodes). Exposed so tests can
+    /// assert generator determinism directly.
+    pub fn writer_of(&self, word: usize, phase: usize) -> usize {
+        let mut x =
+            XorShift::new(self.seed ^ (word as u64).wrapping_mul(0x9E37) ^ (phase as u64) << 32);
+        x.below(WRITER_SLOTS)
+    }
+
+    /// Bytes each buffer occupies in the layout: the word array padded out
+    /// to a page boundary, so the buf0/buf1/counters region hints survive
+    /// mixed-mode carving (region starts are aligned down to the coarsest
+    /// granularity, 4096).
+    pub fn buf_stride(&self) -> usize {
+        (self.words * 8).div_ceil(4096) * 4096
+    }
+
+    fn word_addr(&self, buf: usize, w: usize) -> usize {
+        buf * self.buf_stride() + w * 8
+    }
+
+    fn src_addr(&self, phase: usize, w: usize) -> usize {
+        // Even phases read buffer 0 / write buffer 1; odd phases reverse.
+        self.word_addr(phase % 2, w)
+    }
+
+    fn dst_addr(&self, phase: usize, w: usize) -> usize {
+        self.word_addr(1 - phase % 2, w)
+    }
+
+    /// Shared address of lock-protected counter `l`.
+    pub fn counter_addr(&self, l: usize) -> usize {
+        2 * self.buf_stride() + l * 8
+    }
+}
+
+impl DsmProgram for RandomDrf {
+    fn name(&self) -> String {
+        "random-drf".into()
+    }
+
+    fn shared_bytes(&self) -> usize {
+        2 * self.buf_stride() + self.locks * 8
+    }
+
+    fn regions(&self) -> Vec<RegionHint> {
+        let mut r = vec![
+            RegionHint::new("buf0", 0, self.buf_stride()),
+            RegionHint::new("buf1", self.buf_stride(), self.buf_stride()),
+        ];
+        if self.locks > 0 {
+            r.push(RegionHint::new(
+                "counters",
+                2 * self.buf_stride(),
+                self.locks * 8,
+            ));
+        }
+        r
+    }
+
+    fn init(&self, mem: &mut MemImage) {
+        let mut rng = XorShift::new(self.seed);
+        for w in 0..2 * self.words {
+            mem.write_u64(
+                self.word_addr(w / self.words, w % self.words),
+                rng.next_u64() >> 8,
+            );
+        }
+    }
+
+    fn run(&self, d: &mut dyn Dsm) {
+        let (me, p) = (d.node(), d.num_nodes());
+        for phase in 0..self.phases {
+            for w in 0..self.words {
+                if self.writer_of(w, phase) % p != me {
+                    continue;
+                }
+                let a = d.read_u64(self.src_addr(phase, (w * 7 + phase) % self.words));
+                let b = d.read_u64(self.src_addr(phase, (w * 13 + 5) % self.words));
+                let cur = d.read_u64(self.src_addr(phase, w));
+                d.write_u64(
+                    self.dst_addr(phase, w),
+                    cur.wrapping_mul(6364136223846793005)
+                        .wrapping_add(a ^ b.rotate_left(17))
+                        .wrapping_add(phase as u64),
+                );
+                d.compute(300);
+            }
+            // Lock-protected counters: the bump assignment is node-count
+            // invariant (the same canonical slots are folded onto however
+            // many nodes run).
+            for slot in 0..WRITER_SLOTS {
+                if slot % p != me {
+                    continue;
+                }
+                for l in 0..self.locks {
+                    if self.writer_of(1000 + l, phase) == slot {
+                        d.lock(l);
+                        let c = d.read_u64(self.counter_addr(l));
+                        d.write_u64(self.counter_addr(l), c + 1);
+                        d.unlock(l);
+                    }
+                }
+            }
+            d.barrier(0);
+        }
+    }
+
+    fn check(&self, seq: &MemImage, par: &MemImage) -> Result<(), String> {
+        for w in 0..2 * self.words {
+            let a = self.word_addr(w / self.words, w % self.words);
+            let (s, p) = (seq.read_u64(a), par.read_u64(a));
+            if s != p {
+                return Err(format!("word {w}: {s:#x} != {p:#x}"));
+            }
+        }
+        for l in 0..self.locks {
+            let (s, p) = (
+                seq.read_u64(self.counter_addr(l)),
+                par.read_u64(self.counter_addr(l)),
+            );
+            if s != p {
+                return Err(format!("counter {l}: {s} != {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_assignment_is_deterministic() {
+        let a = RandomDrf::new(0xABCD, 64, 4, 2);
+        let b = RandomDrf::new(0xABCD, 64, 4, 2);
+        for w in 0..64 {
+            for ph in 0..4 {
+                let s = a.writer_of(w, ph);
+                assert_eq!(s, b.writer_of(w, ph));
+                assert!(s < WRITER_SLOTS);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_seed_generates_fixed_program() {
+        // Freeze a few generator outputs so accidental changes to the
+        // derivation (which would silently change every scenario that uses
+        // random-drf) fail loudly.
+        let g = RandomDrf::new(0xD5A2_7F03, 32, 3, 2);
+        let head: Vec<usize> = (0..8).map(|w| g.writer_of(w, 0)).collect();
+        assert_eq!(head, vec![11, 14, 1, 13, 10, 9, 2, 10]);
+        let mut img = MemImage::new(g.shared_bytes());
+        g.init(&mut img);
+        assert_eq!(img.read_u64(0), 0x2a62759a99a584);
+    }
+
+    #[test]
+    fn layout_is_two_buffers_plus_counters() {
+        let g = RandomDrf::new(1, 10, 2, 3);
+        assert_eq!(g.buf_stride(), 4096);
+        assert_eq!(g.shared_bytes(), 2 * 4096 + 3 * 8);
+        assert_eq!(g.counter_addr(0), 8192);
+        assert_eq!(g.regions().len(), 3);
+        assert_eq!(RandomDrf::new(1, 10, 2, 0).regions().len(), 2);
+        // Region starts stay distinct after 4096-aligned carving.
+        let starts: Vec<usize> = g.regions().iter().map(|r| r.addr / 4096 * 4096).collect();
+        assert_eq!(starts, vec![0, 4096, 8192]);
+    }
+}

@@ -6,7 +6,10 @@ use std::sync::Arc;
 use dsm_core::Program;
 
 use crate::barnes::{Barnes, BarnesVariant};
+use crate::drf::RandomDrf;
 use crate::fft::Fft;
+use crate::graph::PageRank;
+use crate::kvstore::KvZipf;
 use crate::lu::Lu;
 use crate::ocean::{OceanOriginal, OceanRowwise};
 use crate::raytrace::Raytrace;
@@ -43,10 +46,38 @@ pub fn all_app_names() -> [&'static str; 12] {
     ]
 }
 
+/// Names of the modern workload families registered beside the paper's
+/// twelve kernels (the scenario engine's native applications). Default
+/// shapes here use seed 1; the scenario spec can override every parameter.
+pub fn modern_app_names() -> [&'static str; 3] {
+    ["kv-zipf", "pagerank", "random-drf"]
+}
+
 /// Construct an application at a given size class.
 pub fn app_sized(name: &str, size: AppSize) -> Option<Program> {
     let std = size == AppSize::Standard;
     Some(match name {
+        "kv-zipf" => {
+            if std {
+                Arc::new(KvZipf::new(1, 2048, 48_000, 6, 99, 70))
+            } else {
+                Arc::new(KvZipf::new(1, 256, 4_000, 4, 99, 70))
+            }
+        }
+        "pagerank" => {
+            if std {
+                Arc::new(PageRank::new(1, 768, 8, 8))
+            } else {
+                Arc::new(PageRank::new(1, 96, 4, 3))
+            }
+        }
+        "random-drf" => {
+            if std {
+                Arc::new(RandomDrf::new(1, 256, 6, 4))
+            } else {
+                Arc::new(RandomDrf::new(1, 64, 3, 2))
+            }
+        }
         "lu" => {
             if std {
                 Arc::new(Lu::new(512, 16))
@@ -158,5 +189,20 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(app("mandelbrot").is_none());
+    }
+
+    #[test]
+    fn modern_workloads_construct_at_both_sizes() {
+        for name in modern_app_names() {
+            let a = app(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(a.name(), name);
+            let b = app_sized(name, AppSize::Small).unwrap();
+            assert_eq!(b.name(), name);
+            assert!(b.shared_bytes() <= a.shared_bytes());
+            assert!(
+                !a.regions().is_empty(),
+                "{name} must declare RegionHints for the planner/checker"
+            );
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Deterministic Zipfian sampler for the skewed-workload applications.
+//!
+//! Production key-value traffic is heavily skewed: a handful of hot keys
+//! absorb most of the accesses (the classic YCSB assumption). The sampler
+//! draws ranks from a Zipfian distribution with exponent `theta` over `n`
+//! items using a precomputed CDF and binary search, so a draw is a pure
+//! function of the uniform variate — fully deterministic and seed-stable,
+//! which the scenario engine's byte-identical-reruns guarantee relies on.
+
+use crate::util::XorShift;
+
+/// Zipfian distribution over `0..n` with exponent `theta`.
+///
+/// `theta = 0` degenerates to the uniform distribution; `theta` around
+/// 0.99 is the YCSB default ("hot" workloads); larger values concentrate
+/// mass further onto the lowest ranks. Rank `r` has probability
+/// proportional to `1 / (r + 1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for `n` items (O(n), done once per workload).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has a single item.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Map a uniform variate in [0, 1) to a rank (pure; no state).
+    pub fn rank_of(&self, u: f64) -> usize {
+        // First rank whose CDF value exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.len() - 1)
+    }
+
+    /// Draw a rank using `rng`.
+    pub fn sample(&self, rng: &mut XorShift) -> usize {
+        self.rank_of(rng.next_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Draw `draws` samples under `seed` and histogram them.
+    fn histogram(n: usize, theta: f64, seed: u64, draws: usize) -> Vec<usize> {
+        let z = Zipf::new(n, theta);
+        let mut rng = XorShift::new(seed);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn frequencies_follow_the_skew() {
+        // theta = 0.99 over 64 items: rank 0 must dominate, and observed
+        // frequencies must be (weakly) decreasing in rank when smoothed —
+        // check the strong form on the head where counts are large.
+        let h = histogram(64, 0.99, 0xBEEF, 200_000);
+        assert!(
+            h[0] > h[1] && h[1] > h[2] && h[2] > h[3],
+            "head: {:?}",
+            &h[..8]
+        );
+        // Rank 0 of a theta=0.99 Zipfian over 64 items carries ~21% of the
+        // mass; allow generous slack either way.
+        let p0 = h[0] as f64 / 200_000.0;
+        assert!((0.15..0.30).contains(&p0), "rank-0 share {p0}");
+        // The head quarter of ranks must absorb well over half the draws.
+        let head: usize = h[..16].iter().sum();
+        assert!(head * 10 > 200_000 * 6, "head share {head}");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let h = histogram(32, 0.0, 7, 64_000);
+        let expect = 64_000 / 32;
+        for (r, &c) in h.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).abs() < expect as i64 / 2,
+                "rank {r}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let z = Zipf::new(100, 0.8);
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+        // Different seeds diverge quickly.
+        let mut c = XorShift::new(43);
+        let mut a = XorShift::new(42);
+        let same = (0..100)
+            .filter(|_| z.sample(&mut a) == z.sample(&mut c))
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn rank_of_covers_the_unit_interval() {
+        let z = Zipf::new(10, 1.2);
+        assert_eq!(z.rank_of(0.0), 0);
+        assert_eq!(z.rank_of(0.999_999_9), 9.min(z.len() - 1));
+        for i in 0..1000 {
+            let u = i as f64 / 1000.0;
+            assert!(z.rank_of(u) < z.len());
+        }
+    }
+}

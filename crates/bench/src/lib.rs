@@ -14,6 +14,6 @@ pub mod report;
 pub mod sweep;
 
 pub use sweep::{
-    default_jobs, run_cell, run_cell_fresh, run_cells, run_cells_fresh, sweep_all, sweep_app,
-    CellResult, CellSpec, GRANULARITIES,
+    default_jobs, pool_map, run_cell, run_cell_fresh, run_cells, run_cells_fresh, sweep_all,
+    sweep_app, CellResult, CellSpec, GRANULARITIES,
 };

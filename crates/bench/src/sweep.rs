@@ -27,7 +27,9 @@ use dsm_stats::RunStats;
 /// v2: local access time moved into `compute_ns`; release actions split out
 /// as `proto_local_ns`/`occupancy_stolen_ns`.
 /// v3: `sim_events` (host-side throughput metric) added to `RunStats`.
-pub const CACHE_VERSION: u32 = 3;
+/// v4: SC poisons the home's own in-flight read grant when a write
+/// transaction invalidates the home copy locally (stale self-grant fix).
+pub const CACHE_VERSION: u32 = 4;
 
 /// The four granularities of the study.
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
@@ -167,8 +169,9 @@ pub fn default_jobs() -> usize {
 /// Run `f(i)` for every `i in 0..n` on up to `jobs` worker threads, returning
 /// results in index order. Work is claimed from a shared atomic counter;
 /// each item's result is independent of scheduling, so the output is
-/// identical to the serial (`jobs == 1`) execution.
-fn pool_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+/// identical to the serial (`jobs == 1`) execution. Public because the
+/// scenario engine fans repetitions out over the same pool.
+pub fn pool_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -233,10 +233,15 @@ pub fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
     out.write_char('"')
 }
 
-/// Parse failure: byte offset plus a short reason.
+/// Parse failure: byte offset, 1-based line/column, and a short reason.
+///
+/// Line and column point at the offending byte (hand-written scenario files
+/// are the main producer of errors, so positions must be human-usable).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub offset: usize,
+    pub line: usize,
+    pub col: usize,
     pub reason: &'static str,
 }
 
@@ -244,8 +249,8 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "json parse error at byte {}: {}",
-            self.offset, self.reason
+            "json parse error at line {} column {} (byte {}): {}",
+            self.line, self.col, self.offset, self.reason
         )
     }
 }
@@ -259,8 +264,22 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, reason: &'static str) -> ParseError {
+        // Errors are terminal, so the line/column scan happens at most once
+        // per parse; a column is counted in bytes of its line.
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
         ParseError {
             offset: self.pos,
+            line,
+            col,
             reason,
         }
     }
@@ -566,6 +585,28 @@ mod tests {
         // Generous bound: linear parsing takes well under a second even in
         // debug builds; the quadratic version took minutes.
         assert!(t0.elapsed().as_secs() < 30, "parse took {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // A malformed scenario-style fixture: the value of "block" on line 4
+        // is bare garbage. The error must point at it exactly.
+        let fixture = "{\n  \"name\": \"kv\",\n  \"mode\": {\n    \"block\": oops,\n  }\n}";
+        let e = Value::parse(fixture).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert_eq!(e.col, 14, "{e}");
+        assert_eq!(e.offset, fixture.find("oops").unwrap());
+        let shown = e.to_string();
+        assert!(shown.contains("line 4"), "{shown}");
+        assert!(shown.contains("column 14"), "{shown}");
+
+        // First-line errors are 1-based.
+        let e = Value::parse("x").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+
+        // Unterminated string: position is end-of-input on the last line.
+        let e = Value::parse("{\"a\":\n\"abc").unwrap_err();
+        assert_eq!(e.line, 2);
     }
 
     #[test]

@@ -273,6 +273,15 @@ fn begin_write(
     targets &= !bit(from);
     if targets & bit(home) != 0 {
         targets &= !bit(home);
+        // The home invalidates its own copy without a message, so the
+        // poisoning that handle_inval performs for remote sharers must
+        // happen here too: a read grant the home sent *to itself* may
+        // still be in flight (read transactions complete at send time),
+        // and installing it after this invalidation would leave the home
+        // a stale read copy invisible to the directory.
+        if w.nodes[home].pending_fault == Some((b, FaultKind::Read)) {
+            w.nodes[home].fault_poisoned = true;
+        }
         if w.access.get(home, b) != Access::Invalid {
             w.access.set(home, b, Access::Invalid);
             w.count_inval(home, b, at);
@@ -323,9 +332,15 @@ fn complete_write(
         e.owner = Some(from);
         e.sharers = 0;
     }
-    // Home's own copy becomes stale under a remote exclusive owner.
-    if from != home && w.access.get(home, b) != Access::Invalid {
-        w.access.set(home, b, Access::Invalid);
+    // Home's own copy becomes stale under a remote exclusive owner. Poison
+    // any in-flight self-grant for the same reason as in begin_write.
+    if from != home {
+        if w.nodes[home].pending_fault == Some((b, FaultKind::Read)) {
+            w.nodes[home].fault_poisoned = true;
+        }
+        if w.access.get(home, b) != Access::Invalid {
+            w.access.set(home, b, Access::Invalid);
+        }
     }
     let (data, extra) = if with_data {
         let bs = w.block_size_of(b) as u64;

@@ -1,137 +1,16 @@
 //! Property test: randomly generated data-race-free programs produce the
 //! sequential result under every protocol and granularity.
 //!
-//! The generator builds phase-structured programs: in each phase every word
-//! has exactly one writer (derived from the seed), writers read words
-//! written in the previous phase to compute their values (so data really
-//! flows through the protocols), phases are separated by barriers, and a
-//! sprinkle of lock-protected counters exercises the lock path. Any
-//! protocol bug that loses, reorders, or mixes writes shows up as a wrong
-//! final image.
+//! The generator itself ([`dsm_apps::RandomDrf`]) is a first-class
+//! workload in `crates/apps` (the scenario engine runs it from JSON
+//! plans); this suite drives it across random shapes, protocols, and
+//! granularities, and under fault injection.
 
 use std::sync::Arc;
 
-use dsm::{
-    run_experiment, run_parallel, Dsm, DsmProgram, FabricConfig, MemImage, Protocol, RunConfig,
-};
+use dsm::{run_experiment, run_parallel, FabricConfig, Protocol, RunConfig};
 use dsm_apps::util::XorShift;
-
-#[derive(Debug, Clone)]
-struct RandomDrf {
-    seed: u64,
-    words: usize,
-    phases: usize,
-    locks: usize,
-}
-
-impl RandomDrf {
-    fn writer_of(&self, word: usize, phase: usize) -> usize {
-        // Deterministic pseudo-random assignment, same for all nodes.
-        let mut x =
-            XorShift::new(self.seed ^ (word as u64).wrapping_mul(0x9E37) ^ (phase as u64) << 32);
-        x.below(16)
-    }
-}
-
-/// Double-buffered variant of the generated program: each phase reads one
-/// buffer and writes the other, so no word is read while its phase-writer
-/// updates it. Reads between barriers of concurrently-written words would
-/// be data races that release consistency may legitimately resolve
-/// differently from the sequential run; double buffering keeps the program
-/// properly data-race-free while data still flows across nodes every phase.
-#[derive(Debug, Clone)]
-struct RandomDrfBuffered(RandomDrf);
-
-impl RandomDrfBuffered {
-    fn src_addr(&self, phase: usize, w: usize) -> usize {
-        // Even phases read buffer 0 / write buffer 1; odd phases reverse.
-        let buf = phase % 2;
-        (buf * self.0.words + w) * 8
-    }
-    fn dst_addr(&self, phase: usize, w: usize) -> usize {
-        let buf = 1 - phase % 2;
-        (buf * self.0.words + w) * 8
-    }
-    fn counter_addr(&self, l: usize) -> usize {
-        (2 * self.0.words + l) * 8
-    }
-}
-
-impl DsmProgram for RandomDrfBuffered {
-    fn name(&self) -> String {
-        format!("random-drf-buf-{:x}", self.0.seed)
-    }
-
-    fn shared_bytes(&self) -> usize {
-        (2 * self.0.words + self.0.locks) * 8
-    }
-
-    fn init(&self, mem: &mut MemImage) {
-        let mut rng = XorShift::new(self.0.seed);
-        for w in 0..2 * self.0.words {
-            mem.write_u64(w * 8, rng.next_u64() >> 8);
-        }
-    }
-
-    fn run(&self, d: &mut dyn Dsm) {
-        let (me, p) = (d.node(), d.num_nodes());
-        let inner = &self.0;
-        for phase in 0..inner.phases {
-            for w in 0..inner.words {
-                if inner.writer_of(w, phase) % p != me {
-                    continue;
-                }
-                let a = d.read_u64(self.src_addr(phase, (w * 7 + phase) % inner.words));
-                let b = d.read_u64(self.src_addr(phase, (w * 13 + 5) % inner.words));
-                let cur = d.read_u64(self.src_addr(phase, w));
-                d.write_u64(
-                    self.dst_addr(phase, w),
-                    cur.wrapping_mul(6364136223846793005)
-                        .wrapping_add(a ^ b.rotate_left(17))
-                        .wrapping_add(phase as u64),
-                );
-                d.compute(300);
-            }
-            // Lock-protected counters: the bump assignment is node-count
-            // invariant (the same canonical 16 slots are folded onto
-            // however many nodes run), so sequential and parallel runs do
-            // identical total work.
-            for slot in 0..16 {
-                if slot % p != me {
-                    continue;
-                }
-                for l in 0..inner.locks {
-                    if inner.writer_of(1000 + l, phase) == slot {
-                        d.lock(l);
-                        let c = d.read_u64(self.counter_addr(l));
-                        d.write_u64(self.counter_addr(l), c + 1);
-                        d.unlock(l);
-                    }
-                }
-            }
-            d.barrier(0);
-        }
-    }
-
-    fn check(&self, seq: &MemImage, par: &MemImage) -> Result<(), String> {
-        for w in 0..2 * self.0.words {
-            let (s, p) = (seq.read_u64(w * 8), par.read_u64(w * 8));
-            if s != p {
-                return Err(format!("word {w}: {s:#x} != {p:#x}"));
-            }
-        }
-        for l in 0..self.0.locks {
-            let (s, p) = (
-                seq.read_u64(self.counter_addr(l)),
-                par.read_u64(self.counter_addr(l)),
-            );
-            if s != p {
-                return Err(format!("counter {l}: {s} != {p}"));
-            }
-        }
-        Ok(())
-    }
-}
+use dsm_apps::RandomDrf;
 
 #[test]
 fn random_drf_programs_verify_everywhere() {
@@ -145,12 +24,7 @@ fn random_drf_programs_verify_everywhere() {
         let locks = rng.below(4);
         let protocol = Protocol::ALL[rng.below(3)];
         let block = [64usize, 256, 1024, 4096][rng.below(4)];
-        let program = RandomDrfBuffered(RandomDrf {
-            seed,
-            words,
-            phases,
-            locks,
-        });
+        let program = RandomDrf::new(seed, words, phases, locks);
         let r = run_experiment(&RunConfig::new(protocol, block), Arc::new(program));
         assert!(
             r.check.is_ok(),
@@ -158,6 +32,26 @@ fn random_drf_programs_verify_everywhere() {
             r.check
         );
     }
+}
+
+#[test]
+fn random_drf_generator_is_seed_deterministic() {
+    // The same shape must produce byte-identical parallel runs — the
+    // scenario engine's reproducibility guarantee leans on this.
+    let mk = || Arc::new(RandomDrf::new(0x5EED_CAFE, 96, 4, 3));
+    let cfg = RunConfig::new(Protocol::Hlrc, 1024);
+    let a = run_parallel(&cfg, mk());
+    let b = run_parallel(&cfg, mk());
+    assert_eq!(a.image.bytes(), b.image.bytes());
+    assert_eq!(a.stats.parallel_time_ns, b.stats.parallel_time_ns);
+    assert_eq!(
+        a.stats.totals().msgs_sent,
+        b.stats.totals().msgs_sent,
+        "identical seeds must replay identical protocol traffic"
+    );
+    // A different seed must actually change the program.
+    let c = run_parallel(&cfg, Arc::new(RandomDrf::new(0x5EED_CAFF, 96, 4, 3)));
+    assert_ne!(a.image.bytes(), c.image.bytes());
 }
 
 #[test]
@@ -175,12 +69,7 @@ fn random_drf_programs_survive_fault_injection() {
         let locks = rng.below(4);
         let protocol = Protocol::ALL[case % 3];
         let block = [64usize, 256, 1024, 4096][rng.below(4)];
-        let program = RandomDrfBuffered(RandomDrf {
-            seed,
-            words,
-            phases,
-            locks,
-        });
+        let program = RandomDrf::new(seed, words, phases, locks);
         let clean = run_parallel(&RunConfig::new(protocol, block), Arc::new(program.clone()));
         let faulty = run_parallel(
             &RunConfig::new(protocol, block).with_fabric(FabricConfig::faulty(seed ^ 0xF0F0)),
