@@ -8,7 +8,7 @@ use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_obs::{ObsConfig, ObsReport, SharingProfile};
 use dsm_proto::{final_image, ProtoConfig, ProtoWorld, Protocol};
-use dsm_sim::engine::{run_cluster_counted, NodeBody, NodeCtx};
+use dsm_sim::engine::{run_cluster_with, NodeBody, NodeCtx, SimPar};
 use dsm_stats::{RegionCounters, RunStats};
 
 use crate::api::Dsm;
@@ -79,6 +79,11 @@ pub struct RunConfig {
     /// and the seed selecting the occurrence. The mutation *sites* are only
     /// compiled under the `mutate` feature; without it this field is inert.
     pub mutation: Option<(dsm_proto::Mutation, u64)>,
+    /// Simulator worker-thread cap. 1 (the default) runs the classic fully
+    /// serialized engine; n > 1 runs conservative windowed parallel
+    /// execution, bit-identical to serial (see `DESIGN.md`). Defaults to the
+    /// `DSM_SIM_PAR` environment variable (`auto` = one per core).
+    pub sim_threads: usize,
 }
 
 impl RunConfig {
@@ -101,7 +106,19 @@ impl RunConfig {
             fabric: FabricConfig::ideal(),
             check: std::env::var("DSM_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"),
             mutation: None,
+            sim_threads: SimPar::threads_from_env(),
         }
+    }
+
+    /// Same configuration with an explicit simulator thread count (0 =
+    /// one per available core). Overrides `DSM_SIM_PAR`.
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        self
     }
 
     /// Same configuration with per-region policy overrides (mixed mode).
@@ -344,7 +361,13 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         })
         .collect();
 
-    let (mut world, end, sim_events) = run_cluster_counted(world, bodies);
+    let par = if cfg.sim_threads > 1 {
+        let lookahead = cfg.fabric.lookahead_ns(cfg.latency.min_one_way());
+        SimPar::windowed(cfg.sim_threads, lookahead)
+    } else {
+        SimPar::serial()
+    };
+    let (mut world, end, sim_events) = run_cluster_with(world, bodies, par);
     // Under a reliable fabric the engine keeps advancing through drained
     // retransmission timers after the last node finishes; the application
     // quiesced at the last App delivery, not at the engine's end time.

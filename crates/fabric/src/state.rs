@@ -564,4 +564,53 @@ mod tests {
         assert_eq!(f.on_frame(1_000, 0, 1, 0, 64, 1).deliver.len(), 1);
         assert_eq!(f.on_frame(1_000, 2, 1, 0, 64, 2).deliver.len(), 1);
     }
+
+    /// The windowed simulation's lookahead rests on this: no fabric
+    /// configuration ever makes a frame arrive earlier than
+    /// `depart + wire_ns` — queuing, jitter, spikes, duplicates, and
+    /// retransmission all only add delay. Exercised here with heavy fault
+    /// rates across seeds and message sizes.
+    #[test]
+    fn fabric_only_adds_delay_over_the_wire_time() {
+        for seed in [1u64, 7, 42, 0xBEEF] {
+            let cfg = FabricConfig {
+                ni: Some(crate::config::NiModel::default()),
+                faults: Some(FaultPlan {
+                    seed,
+                    drop_ppm: 100_000,
+                    dup_ppm: 100_000,
+                    reorder_ppm: 300_000,
+                    spike_ppm: 100_000,
+                    ..FaultPlan::default()
+                }),
+                retry: RetryPolicy::default(),
+            };
+            let lookahead = cfg.lookahead_ns(20_000);
+            let mut f: Fabric<u32> = Fabric::new(cfg, 4);
+            let mut now = 0;
+            for i in 0..500u64 {
+                let (from, to) = ((i % 4) as usize, ((i + 1 + i / 4) % 4) as usize);
+                if from == to {
+                    continue;
+                }
+                let wire = 20_000 + (i % 5) * 17_000; // all >= the floor
+                let out = f.on_send(now, from, to, 16 + i % 4096, wire, i as u32);
+                for a in &out.actions {
+                    match a {
+                        TxAction::Frame { at, .. } => {
+                            assert!(
+                                *at >= now + wire,
+                                "seed {seed}: frame at {at} < depart {now} + wire {wire}"
+                            );
+                            assert!(*at >= now + lookahead);
+                        }
+                        // Timers are sender-local (self-posts): they need
+                        // only be non-decreasing in time.
+                        TxAction::Timer { at, .. } => assert!(*at >= now),
+                    }
+                }
+                now += 3_000 + (i % 7) * 1_000;
+            }
+        }
+    }
 }

@@ -146,7 +146,21 @@ fn metrics(r: &RepOutcome) -> Vec<(&'static str, f64)> {
         ("invalidations", t.invalidations as f64),
         ("diffs_created", t.diffs_created as f64),
         ("fabric_retries", t.fabric_retries as f64),
+        ("sim_events", r.stats.sim_events as f64),
+        ("sim_events_per_sec", sim_events_per_sec(&r.stats)),
     ]
+}
+
+/// Simulator event density: events per *virtual* second of measured
+/// parallel time. Deliberately not a wall-clock rate — both inputs are
+/// deterministic, so the JSONL stays byte-identical across hosts, job
+/// widths, and `DSM_SIM_PAR` settings (the host-side throughput metric
+/// lives in `BENCH_simperf.json` instead).
+fn sim_events_per_sec(s: &RunStats) -> f64 {
+    if s.parallel_time_ns == 0 {
+        return 0.0;
+    }
+    s.sim_events as f64 / (s.parallel_time_ns as f64 / 1e9)
 }
 
 fn policy_json(p: &RegionPolicy) -> Value {
@@ -208,6 +222,7 @@ impl ScenarioOutcome {
         v.set("diffs_created", t.diffs_created);
         v.set("fabric_retries", t.fabric_retries);
         v.set("sim_events", r.stats.sim_events);
+        v.set("sim_events_per_sec", sim_events_per_sec(&r.stats));
         v
     }
 

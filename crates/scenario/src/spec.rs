@@ -29,8 +29,11 @@ use dsm_json::Value;
 use dsm_apps::{app_sized, AppSize, KvZipf, PageRank, RandomDrf};
 
 /// Version stamped on every record the engine emits; bump when the JSONL
-/// shapes change incompatibly.
-pub const SCHEMA: u32 = 1;
+/// shapes change incompatibly. v2: repetition and aggregate records carry
+/// the simulator throughput pair `sim_events` / `sim_events_per_sec`
+/// (events per *virtual* second — wall clock never enters the JSONL, so
+/// records stay byte-identical across hosts and job widths).
+pub const SCHEMA: u32 = 2;
 
 /// Legal coherence granularities (the study's four).
 pub const LEGAL_BLOCKS: [usize; 4] = [64, 256, 1024, 4096];

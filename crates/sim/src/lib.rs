@@ -2,12 +2,20 @@
 
 //! Deterministic discrete-event simulation engine for the DSM reproduction.
 //!
-//! The engine runs one OS thread per simulated cluster node, but execution is
-//! fully serialized: exactly one logical entity (a node thread or an in-flight
-//! message handler) runs at any instant, under a single global lock. Events
-//! are ordered by `(virtual time, sequence number)`, where the sequence number
-//! is assigned at enqueue time, so a given program produces exactly the same
-//! event order — and therefore the same statistics — on every run.
+//! The engine runs one OS thread per simulated cluster node. By default
+//! execution is fully serialized: exactly one logical entity (a node thread
+//! or an in-flight message handler) runs at any instant, under a single
+//! global lock. Events are ordered by `(virtual time, sequence number)`,
+//! where the sequence number is assigned at enqueue time, so a given program
+//! produces exactly the same event order — and therefore the same
+//! statistics — on every run.
+//!
+//! With [`engine::SimPar::windowed`] (or `DSM_SIM_PAR > 1` at the runner
+//! level) the engine switches to conservative windowed parallel execution:
+//! a committer thread still executes every event in exact global order
+//! (keeping results bit-identical to serial), while node threads overlap
+//! their thread-local leading compute within a lookahead window derived
+//! from the minimum inter-node network latency. See `DESIGN.md`.
 //!
 //! Node threads interact with the engine through [`NodeCtx`]:
 //!
@@ -26,7 +34,9 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use engine::{run_cluster, run_cluster_counted, NodeCtx, Sched, World};
+pub use engine::{
+    run_cluster, run_cluster_counted, run_cluster_with, NodeCtx, Sched, SimPar, World,
+};
 pub use time::{Time, MICROS, MILLIS, SECS};
 
 /// Index of a simulated cluster node, `0..nodes`.
