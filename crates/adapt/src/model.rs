@@ -24,6 +24,11 @@
 //!   diffs it home (twin and diff-scan costs scale with the block, the
 //!   diff payload only with the bytes actually written); readers re-fetch
 //!   whole blocks from the home at acquires.
+//! * **Tardis**: no write notices and no eager invalidations — writers
+//!   take exclusive ownership through the static home (multi-writer
+//!   blocks bounce home-and-back with the data in tow), while readers
+//!   pay full re-fetches only after intervals that rewrote the block,
+//!   plus cheap header-only lease renewals where the data survived.
 //!
 //! The central per-block quantity is the *dirty-interval* estimate: the
 //! fault count of a unit divided by its writer count approximates how many
@@ -61,6 +66,14 @@ pub struct ModelParams {
     /// Per-block fixed protocol state overhead, in ns — a small tie-breaker
     /// that penalizes needlessly fine blocks.
     pub per_block_ns: f64,
+    /// Tardis: cost of one header-only lease renewal round trip (fault
+    /// exception, control request and control reply — no payload). Charged
+    /// per reader per dirty interval on blocks whose data the reader
+    /// already holds, discounted by `lrc_read_refault` — a lease spanning
+    /// `vt::LEASE_TS` ticks outlives most intervals, so only the same
+    /// fraction of reads that would re-fault under acquire-time
+    /// invalidation actually reach the home for a renewal.
+    pub tardis_renewal_ns: f64,
 }
 
 impl Default for ModelParams {
@@ -72,6 +85,7 @@ impl Default for ModelParams {
             notice_ns: 400.0,
             swlrc_interval_ns: 50_000.0,
             per_block_ns: 40.0,
+            tardis_renewal_ns: 25_000.0,
         }
     }
 }
@@ -291,6 +305,30 @@ pub fn predict_region_ns(
                 let rd = lrc_read_rounds(params, nw, nr, rd_base, intervals);
                 wr * wcost + intervals * peers * params.notice_ns + rd * fetch
             }
+            Protocol::Tardis => {
+                // Writes: exclusive grants through the static home. A lone
+                // writer keeps ownership (its repeated faults are
+                // header-only upgrade rounds); concurrent writers bounce
+                // the block home-and-back — a recall writeback plus a
+                // fresh data grant per round. No reader is ever contacted:
+                // timestamp order replaces the invalidation traffic.
+                let (wr, wcost) = if single_writer {
+                    (wf_max as f64, upgrade)
+                } else {
+                    (wf_sum as f64, 2.0 * fetch)
+                };
+                // Reads: leases self-expire against the program timestamp,
+                // so re-fetch rounds mirror acquire-time invalidation...
+                let rd = lrc_read_rounds(params, nw, nr, rd_base, intervals);
+                // ... and readers additionally renew leases header-only on
+                // blocks whose data outlived the interval.
+                let renewals = if nw == 0.0 {
+                    0.0
+                } else {
+                    params.lrc_read_refault * nr * intervals * params.tardis_renewal_ns
+                };
+                wr * wcost + rd * fetch + renewals
+            }
         };
     }
     total
@@ -363,6 +401,7 @@ mod tests {
             assert!(sc > 0.0);
             assert_eq!(sc, predict(&p, Protocol::SwLrc, g));
             assert_eq!(sc, predict(&p, Protocol::Hlrc, g));
+            assert_eq!(sc, predict(&p, Protocol::Tardis, g));
         }
     }
 

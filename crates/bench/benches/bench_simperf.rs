@@ -17,9 +17,13 @@
 //!   (`DSM_SIM_PAR=auto`), asserted bit-identical: the intra-run speedup,
 //!   tracked as `par_events_per_sec` / `par_threads` but not guarded
 //!   (it depends on host core count);
-//! * **mini-sweep serial** — 18 cells (lu, fft, water-nsquared × all three
+//! * **single cell, Tardis** — LU / Tardis @ 4096 (standard size), best of
+//!   three: the timestamp-lease hot path (lease renewals, wts bumps,
+//!   recall/ack serialization), tracked as `tardis_events_per_sec` so
+//!   lease-machinery regressions show up separately from the diff path;
+//! * **mini-sweep serial** — 24 cells (lu, fft, water-nsquared × all four
 //!   protocols × {256, 4096} bytes) on one worker;
-//! * **mini-sweep parallel** — the same 18 cells on the default worker
+//! * **mini-sweep parallel** — the same 24 cells on the default worker
 //!   count, asserted bit-identical to the serial results.
 //!
 //! Usage:
@@ -44,7 +48,7 @@ use dsm_bench::sweep::{
 use dsm_core::Protocol;
 use dsm_json::Value;
 
-/// The mini-sweep grid: 18 cells.
+/// The mini-sweep grid: 24 cells.
 fn mini_sweep_specs() -> Vec<CellSpec> {
     let mut specs = Vec::new();
     for app in ["lu", "fft", "water-nsquared"] {
@@ -148,6 +152,27 @@ fn main() {
         best_secs / par_best_secs
     );
 
+    // The same workload under the timestamp-lease protocol. Tracked (not
+    // guarded) so regressions on the Tardis hot path — lease renewals,
+    // wts bumps, the recall/ack serialization — are visible separately
+    // from the HLRC twin/diff path the guarded cell exercises.
+    let td_spec = CellSpec::new("lu", Protocol::Tardis, 4096);
+    let mut td_best_secs = f64::INFINITY;
+    let mut td_events = 0u64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let cell = run_cell_fresh(&td_spec, AppSize::Standard);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(cell.check_err.is_none(), "tardis cell failed verification");
+        td_events = cell.stats.sim_events;
+        td_best_secs = td_best_secs.min(secs);
+    }
+    let tardis_eps = td_events as f64 / td_best_secs;
+    println!(
+        "single cell, Tardis (lu/Tardis@4096): {td_events} events in {td_best_secs:.3}s \
+         best-of-3 = {tardis_eps:.0} events/sec"
+    );
+
     // Mini-sweep, serial then parallel; must be bit-identical.
     let specs = mini_sweep_specs();
     let t0 = Instant::now();
@@ -201,6 +226,9 @@ fn main() {
     );
     out.set("par_threads", par_threads as u64);
     out.set("par_events_per_sec", par_eps as u64);
+    out.set("tardis_cell", "lu/Tardis@4096 standard, best of 3");
+    out.set("tardis_cell_events", td_events);
+    out.set("tardis_events_per_sec", tardis_eps as u64);
     out.set("mini_sweep_cells", specs.len() as u64);
     out.set("mini_sweep_events", sweep_events);
     out.set(

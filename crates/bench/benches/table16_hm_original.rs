@@ -48,13 +48,17 @@ fn main() {
             "{:.3}",
             m.hm_best_granularity(p.name(), &GRANULARITIES)
         ));
-        cells.push(
-            PAPER_HM_ORIGINAL[pi]
-                .iter()
-                .map(|v| v.map_or("-".into(), |x| format!("{x:.3}")))
-                .collect::<Vec<_>>()
-                .join(" "),
-        );
+        // The paper tabulates only its own three protocols; extension rows
+        // (Tardis) have no paper column.
+        cells.push(PAPER_HM_ORIGINAL.get(pi).map_or_else(
+            || "-".into(),
+            |row| {
+                row.iter()
+                    .map(|v| v.map_or("-".into(), |x| format!("{x:.3}")))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            },
+        ));
         t.row(&cells);
     }
     let protos: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();

@@ -7,7 +7,9 @@
 //! Human-readable tables by default; `--json` emits one schema-versioned
 //! `"cell"` record per (app, protocol, granularity) cell, in the same
 //! JSON-Lines dialect as `diag --json` (every record is self-describing
-//! via `type` and `schema` fields).
+//! via `type` and `schema` fields). Cell schema v2 adds the Tardis lease
+//! counters (`lease_renewals`, `lease_expiries`, `wts_bumps`) as typed
+//! fields; they are zero under the other protocols.
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, Protocol, RunConfig};
 use dsm_json::Value;
@@ -40,9 +42,10 @@ fn main() {
                 let r = run_experiment(&RunConfig::new(p, g), app(&name).unwrap());
                 let elapsed = t0.elapsed().as_secs_f64();
                 if json {
+                    let t = r.stats.totals();
                     let mut v = Value::obj();
                     v.set("type", "cell");
-                    v.set("schema", 1u32);
+                    v.set("schema", 2u32);
                     v.set("app", name.as_str());
                     v.set("protocol", p.name());
                     v.set("block", g);
@@ -50,6 +53,9 @@ fn main() {
                     v.set("check_ok", r.check.is_ok());
                     v.set("parallel_time_ns", r.stats.parallel_time_ns);
                     v.set("sequential_time_ns", r.stats.sequential_time_ns);
+                    v.set("lease_renewals", t.lease_renewals);
+                    v.set("lease_expiries", t.lease_expiries);
+                    v.set("wts_bumps", t.wts_bumps);
                     v.set("host_seconds", elapsed);
                     println!("{v}");
                 } else {

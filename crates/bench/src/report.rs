@@ -40,9 +40,11 @@ pub fn fault_table(grid: &[Vec<CellResult>], paper: Option<&PaperFaults>) -> Str
                 cells.push(pick(&cell.stats.totals()).to_string());
             }
             t.row(&cells);
-            if let Some(rows) = paper_rows {
+            // The paper tabulates only its own three protocols; extension
+            // rows (Tardis) have no paper counterpart.
+            if let Some(prow) = paper_rows.and_then(|rows| rows.get(pi)) {
                 let mut pcells = vec!["".to_string(), "  (paper)".to_string()];
-                for v in rows[pi] {
+                for v in prow {
                     pcells.push(v.map_or("-".into(), |x| x.to_string()));
                 }
                 t.row(&pcells);

@@ -29,7 +29,9 @@ use dsm_stats::RunStats;
 /// v3: `sim_events` (host-side throughput metric) added to `RunStats`.
 /// v4: SC poisons the home's own in-flight read grant when a write
 /// transaction invalidates the home copy locally (stale self-grant fix).
-pub const CACHE_VERSION: u32 = 4;
+/// v5: Tardis joins `Protocol::ALL`, widening every per-app grid from
+/// three protocol rows to four.
+pub const CACHE_VERSION: u32 = 5;
 
 /// The four granularities of the study.
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];

@@ -239,6 +239,98 @@ impl SwMirror {
     }
 }
 
+/// Tardis timestamp-lease mirror: write timestamps must strictly advance
+/// per block and jump past every outstanding read lease, and no read may
+/// execute above its copy's lease against the reader's program timestamp.
+///
+/// The mirror re-derives the home's `wts`/`rts` tables and every node's
+/// program timestamp from the grant and merge hooks alone. Initial values
+/// bake in the protocol's definition — the golden image is the write at
+/// logical time 1 and every node starts at program timestamp 1 — not its
+/// runtime state.
+#[derive(Debug, Default)]
+pub struct TdMirror {
+    /// Per block: timestamp of the last write grant (default 1).
+    wts: HashMap<BlockId, u64>,
+    /// Per block: furthest lease end ever granted (default 1).
+    rts: HashMap<BlockId, u64>,
+    /// Per block: current exclusive owner. Set at a write grant, cleared
+    /// by the next read grant — which the home can only issue after the
+    /// owner's writeback, so the map is exact at every access.
+    owner: HashMap<BlockId, NodeId>,
+    /// Per node: program timestamp re-derived from grants and sync merges
+    /// (default 1).
+    pts: HashMap<NodeId, u64>,
+    /// Per (node, block): lease end of the node's read copy.
+    lease: HashMap<(NodeId, BlockId), u64>,
+}
+
+impl TdMirror {
+    /// The home granted `reader` a read at `wts` with a lease to `lease`.
+    pub fn on_read(&mut self, reader: NodeId, block: BlockId, wts: u64, lease: u64) {
+        self.owner.remove(&block);
+        let r = self.rts.entry(block).or_insert(1);
+        *r = (*r).max(lease);
+        self.lease.insert((reader, block), lease);
+        let p = self.pts.entry(reader).or_insert(1);
+        *p = (*p).max(wts);
+    }
+
+    /// The home granted `writer` exclusive ownership at `new_wts`.
+    pub fn on_write(&mut self, writer: NodeId, block: BlockId, new_wts: u64) -> Option<Fail> {
+        let rts = *self.rts.get(&block).unwrap_or(&1);
+        let wts = self.wts.entry(block).or_insert(1);
+        let fail = if new_wts <= *wts {
+            Some((
+                "td-wts-monotone",
+                format!(
+                    "block {block}: write grant reuses timestamp {new_wts} (current wts {})",
+                    *wts
+                ),
+            ))
+        } else if new_wts <= rts {
+            Some((
+                "td-write-under-lease",
+                format!(
+                    "block {block}: write timestamp {new_wts} lands inside a promised \
+                     read window (rts {rts})"
+                ),
+            ))
+        } else {
+            None
+        };
+        *wts = (*wts).max(new_wts);
+        self.owner.insert(block, writer);
+        let p = self.pts.entry(writer).or_insert(1);
+        *p = (*p).max(new_wts);
+        fail
+    }
+
+    /// Node `me` merged a program timestamp carried by a sync grant.
+    pub fn on_merge(&mut self, me: NodeId, pts: u64) {
+        let p = self.pts.entry(me).or_insert(1);
+        *p = (*p).max(pts);
+    }
+
+    /// A completed read access on a Tardis block: the reader's program
+    /// timestamp must sit inside its copy's lease. The exclusive owner is
+    /// exempt — it holds the authoritative copy, no lease involved.
+    pub fn on_access(&mut self, me: NodeId, block: BlockId, write: bool) -> Option<Fail> {
+        if write || self.owner.get(&block) == Some(&me) {
+            return None;
+        }
+        let pts = *self.pts.get(&me).unwrap_or(&1);
+        let lease = *self.lease.get(&(me, block)).unwrap_or(&0);
+        if pts > lease {
+            return Some((
+                "td-lease-overrun",
+                format!("block {block}: node {me} read at pts {pts} above its lease end {lease}"),
+            ));
+        }
+        None
+    }
+}
+
 /// SC install legality: at the instant a grant installs, an exclusive copy
 /// must be the only copy, and no read copy may coexist with a writer.
 pub fn check_sc_install(
@@ -426,6 +518,53 @@ mod tests {
             check_sc_install(0, false, &[], &[2]).unwrap().0,
             "sc-single-writer"
         );
+    }
+
+    #[test]
+    fn td_write_timestamps_must_strictly_advance() {
+        let mut m = TdMirror::default();
+        // The golden image counts as the write at logical time 1: a first
+        // grant reusing it is already a violation.
+        assert_eq!(m.on_write(2, 0, 1).unwrap().0, "td-wts-monotone");
+        assert!(m.on_write(2, 0, 5).is_none());
+        assert_eq!(m.on_write(3, 0, 5).unwrap().0, "td-wts-monotone");
+        assert!(m.on_write(3, 0, 6).is_none());
+    }
+
+    #[test]
+    fn td_write_inside_a_read_window_is_flagged() {
+        let mut m = TdMirror::default();
+        // A lease to 9 promises reads of the old version until then.
+        m.on_read(1, 0, 1, 9);
+        assert_eq!(m.on_write(2, 0, 4).unwrap().0, "td-write-under-lease");
+        let mut m2 = TdMirror::default();
+        m2.on_read(1, 0, 1, 9);
+        assert!(m2.on_write(2, 0, 10).is_none(), "jumping past rts is legal");
+    }
+
+    #[test]
+    fn td_read_above_the_lease_is_flagged() {
+        let mut m = TdMirror::default();
+        m.on_read(1, 0, 1, 9);
+        assert!(m.on_access(1, 0, false).is_none());
+        // pts == lease end is still covered.
+        m.on_merge(1, 9);
+        assert!(m.on_access(1, 0, false).is_none());
+        m.on_merge(1, 10);
+        assert_eq!(m.on_access(1, 0, false).unwrap().0, "td-lease-overrun");
+    }
+
+    #[test]
+    fn td_owner_accesses_need_no_lease() {
+        let mut m = TdMirror::default();
+        assert!(m.on_write(2, 0, 12).is_none());
+        m.on_merge(2, 40);
+        assert!(m.on_access(2, 0, false).is_none(), "owner is exempt");
+        assert!(m.on_access(2, 0, true).is_none());
+        // The next read grant clears ownership: a later ownerless read by
+        // the ex-owner is checked again.
+        m.on_read(1, 0, 12, 20);
+        assert_eq!(m.on_access(2, 0, false).unwrap().0, "td-lease-overrun");
     }
 
     #[test]

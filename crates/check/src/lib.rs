@@ -15,8 +15,10 @@
 //!   8-byte word of the shared space;
 //! - **protocol invariant mirrors** ([`inv`]) that independently re-derive
 //!   LRC write-notice completeness, HLRC diff coverage and flush
-//!   reconciliation, SW-LRC version monotonicity, SC install legality, and
-//!   the reliable fabric's exactly-once in-order delivery.
+//!   reconciliation, SW-LRC version monotonicity, SC install legality,
+//!   Tardis timestamp-lease legality (monotone write timestamps, writes
+//!   ordered past outstanding leases, no read above its lease), and the
+//!   reliable fabric's exactly-once in-order delivery.
 //!
 //! Violations accumulate (capped) and are returned by `finalize`.
 
@@ -30,7 +32,7 @@ use dsm_proto::vt::VClock;
 use dsm_proto::{Checker, Protocol, Violation};
 use dsm_sim::{NodeId, Time};
 
-use inv::{FabricMirror, HlMirror, LrcMirror, SwMirror};
+use inv::{FabricMirror, HlMirror, LrcMirror, SwMirror, TdMirror};
 use race::RaceDetector;
 
 /// Hard cap on stored violations: a genuinely broken run would otherwise
@@ -50,6 +52,7 @@ pub struct RunChecker {
     lrc: LrcMirror,
     hl: HlMirror,
     sw: SwMirror,
+    td: TdMirror,
     fab: FabricMirror,
     /// Last synchronization operation per node, for race attribution.
     sync_ctx: Vec<String>,
@@ -82,6 +85,7 @@ impl RunChecker {
             lrc: LrcMirror::new(nodes),
             hl: HlMirror::default(),
             sw: SwMirror::default(),
+            td: TdMirror::default(),
             fab: FabricMirror::default(),
             sync_ctx: vec!["before any synchronization".to_string(); nodes],
             violations: Vec::new(),
@@ -137,6 +141,16 @@ impl Checker for RunChecker {
     }
 
     fn on_access(&mut self, me: NodeId, addr: usize, len: usize, write: bool, now: Time) {
+        // Tardis lease legality is checked on every access, armed or not —
+        // leases and program timestamps are live from the first fault.
+        // Accesses arrive pre-split at block boundaries, so one block per
+        // call.
+        let block = self.layout.block_of(addr);
+        if self.protocol_of(block) == Protocol::Tardis {
+            if let Some(f) = self.td.on_access(me, block, write) {
+                self.push_fail(f, me, Some(block), now);
+            }
+        }
         let races = self.det.access(me, addr, len, write);
         for r in races {
             let waddr = r.word * race::WORD;
@@ -270,6 +284,28 @@ impl Checker for RunChecker {
         if let Some(f) = inv::check_sc_install(block, exclusive, readers, writers) {
             self.push_fail(f, me, Some(block), now);
         }
+    }
+
+    fn td_read(
+        &mut self,
+        reader: NodeId,
+        block: BlockId,
+        wts: u64,
+        lease: u64,
+        _renewal: bool,
+        _now: Time,
+    ) {
+        self.td.on_read(reader, block, wts, lease);
+    }
+
+    fn td_write(&mut self, writer: NodeId, block: BlockId, new_wts: u64, _rts: u64, now: Time) {
+        if let Some(f) = self.td.on_write(writer, block, new_wts) {
+            self.push_fail(f, writer, Some(block), now);
+        }
+    }
+
+    fn td_merge(&mut self, me: NodeId, pts: u64, _now: Time) {
+        self.td.on_merge(me, pts);
     }
 
     fn fabric_frame(

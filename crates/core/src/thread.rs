@@ -40,7 +40,7 @@ impl<'a> DsmThread<'a> {
     pub fn new(ctx: &'a mut NodeCtx<ProtoWorld>, inflation_pct: u32) -> Self {
         let me = ctx.node();
         let n = ctx.num_nodes();
-        let (lrc, layout) = ctx.world(|w, _| (w.has_lrc, w.cfg.layout.clone()));
+        let (lrc, layout) = ctx.world(|w, _| (w.has_lrc || w.has_tardis, w.cfg.layout.clone()));
         DsmThread {
             ctx,
             me,

@@ -127,11 +127,23 @@ pub enum EventKind {
         /// Queuing delay in virtual ns.
         dur: u64,
     },
+    /// Tardis: the home renewed a read lease header-only (the requester's
+    /// copy was still current).
+    LeaseRenew {
+        /// Leased coherence block.
+        block: usize,
+    },
+    /// Tardis: a read found its lease below the node's program timestamp
+    /// and self-invalidated (no invalidation message was ever sent).
+    LeaseExpire {
+        /// Expired coherence block.
+        block: usize,
+    },
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-kind count arrays).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// Index of [`EventKind::FaultBegin`] in count arrays.
     pub const IDX_FAULT_BEGIN: usize = 0;
@@ -165,6 +177,10 @@ impl EventKind {
     pub const IDX_RETRANSMIT: usize = 14;
     /// Index of [`EventKind::NetQueue`].
     pub const IDX_NET_QUEUE: usize = 15;
+    /// Index of [`EventKind::LeaseRenew`].
+    pub const IDX_LEASE_RENEW: usize = 16;
+    /// Index of [`EventKind::LeaseExpire`].
+    pub const IDX_LEASE_EXPIRE: usize = 17;
 
     /// Kind names, aligned with [`EventKind::index`].
     pub const NAMES: [&'static str; Self::COUNT] = [
@@ -184,6 +200,8 @@ impl EventKind {
         "advance",
         "retransmit",
         "net_queue",
+        "lease_renew",
+        "lease_expire",
     ];
 
     /// Dense index of this kind, for count arrays.
@@ -205,6 +223,8 @@ impl EventKind {
             EventKind::Advance { .. } => Self::IDX_ADVANCE,
             EventKind::Retransmit { .. } => Self::IDX_RETRANSMIT,
             EventKind::NetQueue { .. } => Self::IDX_NET_QUEUE,
+            EventKind::LeaseRenew { .. } => Self::IDX_LEASE_RENEW,
+            EventKind::LeaseExpire { .. } => Self::IDX_LEASE_EXPIRE,
         }
     }
 
@@ -223,7 +243,9 @@ impl EventKind {
             | EventKind::TwinCreate { block }
             | EventKind::DiffCreate { block, .. }
             | EventKind::DiffApply { block, .. }
-            | EventKind::Invalidate { block } => Some(block),
+            | EventKind::Invalidate { block }
+            | EventKind::LeaseRenew { block }
+            | EventKind::LeaseExpire { block } => Some(block),
             EventKind::MsgSend { block, .. } | EventKind::MsgRecv { block, .. } => block,
             _ => None,
         }
@@ -291,6 +313,8 @@ impl EventKind {
                 format!("retransmit to=n{to} seq={seq} attempt={attempt}")
             }
             EventKind::NetQueue { dur } => format!("net_queue wait={dur}ns"),
+            EventKind::LeaseRenew { block } => format!("lease_renew block={block}"),
+            EventKind::LeaseExpire { block } => format!("lease_expire block={block}"),
         }
     }
 }
@@ -353,6 +377,8 @@ mod tests {
                 attempt: 1,
             },
             EventKind::NetQueue { dur: 5 },
+            EventKind::LeaseRenew { block: 1 },
+            EventKind::LeaseExpire { block: 1 },
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);
         for (i, k) in kinds.iter().enumerate() {

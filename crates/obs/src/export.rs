@@ -198,7 +198,9 @@ fn args_json(kind: &EventKind) -> Value {
         }
         EventKind::LocalFault { block, .. }
         | EventKind::TwinCreate { block }
-        | EventKind::Invalidate { block } => {
+        | EventKind::Invalidate { block }
+        | EventKind::LeaseRenew { block }
+        | EventKind::LeaseExpire { block } => {
             v.set("block", block);
         }
         EventKind::MsgSend {

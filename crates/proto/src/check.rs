@@ -167,6 +167,34 @@ pub trait Checker: Send {
         let _ = (me, block, exclusive, readers, writers, now);
     }
 
+    /// Tardis: the home granted `reader` a read of `block` at write
+    /// timestamp `wts` with a lease ending at `lease`. `renewal` marks a
+    /// header-only renewal (the reader's copy was already current).
+    fn td_read(
+        &mut self,
+        reader: NodeId,
+        block: BlockId,
+        wts: u64,
+        lease: u64,
+        renewal: bool,
+        now: Time,
+    ) {
+        let _ = (reader, block, wts, lease, renewal, now);
+    }
+
+    /// Tardis: the home granted `writer` exclusive ownership of `block`
+    /// at the freshly minted `new_wts`; `rts` is the largest lease end
+    /// outstanding at grant time.
+    fn td_write(&mut self, writer: NodeId, block: BlockId, new_wts: u64, rts: u64, now: Time) {
+        let _ = (writer, block, new_wts, rts, now);
+    }
+
+    /// Tardis: node `me` merged an incoming program timestamp `pts`
+    /// carried by a lock grant or barrier release.
+    fn td_merge(&mut self, me: NodeId, pts: u64, now: Time) {
+        let _ = (me, pts, now);
+    }
+
     /// A fabric data frame `(src → to, seq)` arrived at the receive side.
     /// `duplicate` is the fabric's own duplicate-suppression verdict;
     /// `posted` is how many reassembled envelopes this arrival released to

@@ -5,7 +5,8 @@ use dsm_mem::Layout;
 use dsm_net::{CostModel, LatencyModel, Notify};
 use dsm_obs::ObsConfig;
 
-/// The three consistency protocols studied in the paper.
+/// The three consistency protocols studied in the paper, plus the
+/// timestamp-lease protocol (Tardis 2.0) added as a fourth peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Sequential consistency (Stache-style directory, §2.1).
@@ -14,11 +15,20 @@ pub enum Protocol {
     SwLrc,
     /// Home-based lazy release consistency (§2.3).
     Hlrc,
+    /// Timestamp-lease coherence (Tardis 2.0): logical read leases and
+    /// per-block write timestamps instead of sharer lists and
+    /// invalidations.
+    Tardis,
 }
 
 impl Protocol {
     /// All protocols in presentation order.
-    pub const ALL: [Protocol; 3] = [Protocol::Sc, Protocol::SwLrc, Protocol::Hlrc];
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Sc,
+        Protocol::SwLrc,
+        Protocol::Hlrc,
+        Protocol::Tardis,
+    ];
 
     /// Short name used in tables.
     pub fn name(self) -> &'static str {
@@ -26,11 +36,22 @@ impl Protocol {
             Protocol::Sc => "SC",
             Protocol::SwLrc => "SW-LRC",
             Protocol::Hlrc => "HLRC",
+            Protocol::Tardis => "TARDIS",
         }
     }
 
-    /// True for the two release-consistent protocols.
+    /// True for the two release-consistent protocols (vector-time interval
+    /// machinery and write-notice transport). Tardis is *not* LRC: it is
+    /// release-consistent in the memory-model sense but carries scalar
+    /// timestamps instead of vector times and publishes no write notices.
     pub fn is_lrc(self) -> bool {
+        matches!(self, Protocol::SwLrc | Protocol::Hlrc)
+    }
+
+    /// True for the protocols that rely on data-race freedom between
+    /// synchronization points (everything but eager SC). Applications use
+    /// this to enable their extra synchronization variants.
+    pub fn is_relaxed(self) -> bool {
         !matches!(self, Protocol::Sc)
     }
 }
@@ -42,6 +63,7 @@ impl std::str::FromStr for Protocol {
             "sc" => Ok(Protocol::Sc),
             "sw-lrc" | "swlrc" | "sw" => Ok(Protocol::SwLrc),
             "hlrc" | "hl" => Ok(Protocol::Hlrc),
+            "tardis" | "td" => Ok(Protocol::Tardis),
             other => Err(format!("unknown protocol: {other}")),
         }
     }
@@ -141,5 +163,14 @@ mod tests {
         assert!(!Protocol::Sc.is_lrc());
         assert!(Protocol::SwLrc.is_lrc());
         assert!(Protocol::Hlrc.is_lrc());
+        assert!(!Protocol::Tardis.is_lrc(), "tardis carries no vector times");
+    }
+
+    #[test]
+    fn relaxed_classification() {
+        assert!(!Protocol::Sc.is_relaxed());
+        assert!(Protocol::SwLrc.is_relaxed());
+        assert!(Protocol::Hlrc.is_relaxed());
+        assert!(Protocol::Tardis.is_relaxed());
     }
 }

@@ -2,7 +2,8 @@
 
 //! The paper's core contribution: three software coherence protocols —
 //! sequential consistency (SC), single-writer lazy release consistency
-//! (SW-LRC) and home-based lazy release consistency (HLRC) — running at a
+//! (SW-LRC) and home-based lazy release consistency (HLRC) — plus the
+//! timestamp-lease Tardis protocol as a fourth peer, running at a
 //! configurable coherence granularity over the simulated cluster.
 //!
 //! The crate exposes:
@@ -27,6 +28,7 @@ pub mod pool;
 pub mod sc;
 pub mod swlrc;
 pub mod sync;
+pub mod tardis;
 pub mod vt;
 pub mod world;
 

@@ -80,6 +80,9 @@ pub fn release_actions(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId) ->
             Protocol::SwLrc => sw_dirty.push(b),
             Protocol::Hlrc => hl_dirty.push(b),
             Protocol::Sc => unreachable!("SC block {b} in the dirty list"),
+            // Tardis blocks never twin or diff: recalls write back whole
+            // blocks, so they never enter the dirty list.
+            Protocol::Tardis => unreachable!("Tardis block {b} in the dirty list"),
         }
     }
     // Union transport: both protocols' notices are logged in one interval,
@@ -130,6 +133,7 @@ pub fn acquire_actions(
             Protocol::SwLrc => swlrc::apply_notice(w, me, n, s.now()),
             Protocol::Hlrc => hlrc::apply_notice(w, s, me, n),
             Protocol::Sc => unreachable!("write notice for an SC block"),
+            Protocol::Tardis => unreachable!("write notice for a Tardis block"),
         };
     }
     elapsed

@@ -122,6 +122,50 @@ pub enum ProtoMsg {
     /// touch claimed the home. Wakes the requester.
     HlNowHome { block: BlockId },
 
+    // ---- Tardis (timestamp leases) ----
+    /// Requester -> home: read or write miss. `pts` is the requester's
+    /// program timestamp; `have_wts` the write timestamp of its current
+    /// copy (0 = none), which lets the home answer an expired-but-current
+    /// read with a header-only lease renewal.
+    TdFetch {
+        from: NodeId,
+        block: BlockId,
+        kind: FaultKind,
+        pts: u64,
+        have_wts: u64,
+    },
+    /// Home -> requester: block data plus a read lease ending at `lease`.
+    /// Wakes the requester.
+    TdData {
+        block: BlockId,
+        wts: u64,
+        lease: u64,
+        home: NodeId,
+    },
+    /// Home -> requester: header-only lease renewal (the requester's copy
+    /// is still current). Wakes the requester.
+    TdLease { block: BlockId, lease: u64 },
+    /// Home -> requester: exclusive write grant at the freshly minted
+    /// `wts` (jumped past every outstanding lease). `with_data` carries
+    /// the block payload (false = the requester's copy is current: an
+    /// upgrade). Wakes the requester.
+    TdWGrant {
+        block: BlockId,
+        wts: u64,
+        with_data: bool,
+        home: NodeId,
+    },
+    /// Home -> exclusive owner: surrender the block (another node
+    /// faulted on it).
+    TdRecall { block: BlockId },
+    /// Owner -> home: dirty block contents after a recall (block
+    /// payload); the owner's copy is invalidated.
+    TdWriteback { from: NodeId, block: BlockId },
+    /// Requester -> home: exclusive grant received and installed. The
+    /// home keeps the block busy until this arrives, so a recall can
+    /// never overtake the grant it would revoke.
+    TdAck { from: NodeId, block: BlockId },
+
     // ---- Synchronization (all protocols) ----
     /// Requester -> lock manager. `vt` present for the LRC protocols.
     LockReq {
@@ -130,29 +174,37 @@ pub enum ProtoMsg {
         vt: Option<VClock>,
     },
     /// Manager -> new holder: lock granted, with consistency information.
+    /// `pts` carries the last releaser's program timestamp (Tardis).
     /// Wakes the requester.
     LockGrant {
         lock: usize,
         vt: Option<VClock>,
         notices: Vec<Notice>,
+        pts: Option<u64>,
     },
-    /// Holder -> manager: lock released.
+    /// Holder -> manager: lock released. `pts` is the releaser's program
+    /// timestamp (Tardis).
     LockRel {
         from: NodeId,
         lock: usize,
         vt: Option<VClock>,
+        pts: Option<u64>,
     },
-    /// Participant -> barrier manager.
+    /// Participant -> barrier manager. `pts` as for [`ProtoMsg::LockRel`].
     BarArrive {
         from: NodeId,
         barrier: usize,
         vt: Option<VClock>,
+        pts: Option<u64>,
     },
-    /// Manager -> participant: everyone arrived. Wakes the participant.
+    /// Manager -> participant: everyone arrived. `pts` is the maximum
+    /// program timestamp over all arrivals (Tardis). Wakes the
+    /// participant.
     BarRelease {
         barrier: usize,
         vt: Option<VClock>,
         notices: Vec<Notice>,
+        pts: Option<u64>,
     },
 }
 
@@ -266,6 +318,13 @@ impl ProtoMsg {
             ProtoMsg::HlData { .. } => "HlData",
             ProtoMsg::HlDiff { .. } => "HlDiff",
             ProtoMsg::HlNowHome { .. } => "HlNowHome",
+            ProtoMsg::TdFetch { .. } => "TdFetch",
+            ProtoMsg::TdData { .. } => "TdData",
+            ProtoMsg::TdLease { .. } => "TdLease",
+            ProtoMsg::TdWGrant { .. } => "TdWGrant",
+            ProtoMsg::TdRecall { .. } => "TdRecall",
+            ProtoMsg::TdWriteback { .. } => "TdWriteback",
+            ProtoMsg::TdAck { .. } => "TdAck",
             ProtoMsg::LockReq { .. } => "LockReq",
             ProtoMsg::LockGrant { .. } => "LockGrant",
             ProtoMsg::LockRel { .. } => "LockRel",
@@ -293,7 +352,14 @@ impl ProtoMsg {
             | ProtoMsg::HlFetchReq { block, .. }
             | ProtoMsg::HlData { block, .. }
             | ProtoMsg::HlDiff { block, .. }
-            | ProtoMsg::HlNowHome { block } => Some(block),
+            | ProtoMsg::HlNowHome { block }
+            | ProtoMsg::TdFetch { block, .. }
+            | ProtoMsg::TdData { block, .. }
+            | ProtoMsg::TdLease { block, .. }
+            | ProtoMsg::TdWGrant { block, .. }
+            | ProtoMsg::TdRecall { block }
+            | ProtoMsg::TdWriteback { block, .. }
+            | ProtoMsg::TdAck { block, .. } => Some(block),
             ProtoMsg::LockReq { .. }
             | ProtoMsg::LockGrant { .. }
             | ProtoMsg::LockRel { .. }
@@ -328,6 +394,8 @@ impl ProtoMsg {
                 | ProtoMsg::SwReq { .. }
                 | ProtoMsg::HlFetchReq { .. }
                 | ProtoMsg::HlDiff { .. }
+                | ProtoMsg::TdFetch { .. }
+                | ProtoMsg::TdRecall { .. }
                 | ProtoMsg::LockReq { .. }
                 | ProtoMsg::LockRel { .. }
                 | ProtoMsg::BarArrive { .. }
@@ -357,6 +425,24 @@ mod tests {
             invalidated: true
         }
         .needs_service());
+        assert!(ProtoMsg::TdFetch {
+            from: 0,
+            block: 1,
+            kind: FaultKind::Read,
+            pts: 1,
+            have_wts: 0
+        }
+        .needs_service());
+        assert!(ProtoMsg::TdRecall { block: 1 }.needs_service());
+        assert!(!ProtoMsg::TdData {
+            block: 1,
+            wts: 2,
+            lease: 10,
+            home: 0
+        }
+        .needs_service());
+        assert!(!ProtoMsg::TdWriteback { from: 0, block: 1 }.needs_service());
+        assert!(!ProtoMsg::TdAck { from: 0, block: 1 }.needs_service());
     }
 
     #[test]

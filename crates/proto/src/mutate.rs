@@ -46,11 +46,21 @@ pub enum Mutation {
     /// Skip the race detector's happens-before join at a barrier pass on
     /// node 0 (sticky).
     HbSkipBarrier,
+    /// Tardis: read through an expired lease once instead of faulting
+    /// back to the home (the copy may be stale past a required write).
+    TdLeaseOverrun,
+    /// Tardis: reuse the previous write timestamp at an exclusive grant
+    /// instead of minting a fresh one.
+    TdWtsStall,
+    /// Tardis: mint the write timestamp ignoring outstanding read leases
+    /// (the write lands inside a promised read window).
+    TdWtsUnderLease,
 }
 
 impl Mutation {
-    /// Every mutation, in kill-matrix order.
-    pub const ALL: [Mutation; 8] = [
+    /// Every mutation, in kill-matrix order. New mutations are appended so
+    /// existing seed/lane pairings stay stable.
+    pub const ALL: [Mutation; 11] = [
         Mutation::DropWriteNotice,
         Mutation::SkipDiffWord,
         Mutation::LockStaleVt,
@@ -59,6 +69,9 @@ impl Mutation {
         Mutation::FabricDupDeliver,
         Mutation::FabricReorder,
         Mutation::HbSkipBarrier,
+        Mutation::TdLeaseOverrun,
+        Mutation::TdWtsStall,
+        Mutation::TdWtsUnderLease,
     ];
 
     /// Stable kebab-case name (CLI / JSONL).
@@ -72,6 +85,9 @@ impl Mutation {
             Mutation::FabricDupDeliver => "fabric-dup-deliver",
             Mutation::FabricReorder => "fabric-reorder",
             Mutation::HbSkipBarrier => "hb-skip-barrier",
+            Mutation::TdLeaseOverrun => "td-lease-overrun",
+            Mutation::TdWtsStall => "td-wts-stall",
+            Mutation::TdWtsUnderLease => "td-wts-under-lease",
         }
     }
 

@@ -7,7 +7,7 @@ use dsm_sim::{NodeId, Sched, Time};
 use crate::config::Protocol;
 use crate::msg::{FaultKind, Packet};
 use crate::world::ProtoWorld;
-use crate::{hlrc, sc, swlrc};
+use crate::{hlrc, sc, swlrc, tardis};
 
 /// Result of an access attempt on the fast path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,15 @@ pub fn access_cost(w: &ProtoWorld, len: usize) -> Time {
 pub fn try_read(w: &mut ProtoWorld, me: NodeId, addr: usize, buf: &mut [u8], now: Time) -> Attempt {
     for b in w.cfg.layout.blocks_covering(addr, buf.len()) {
         if !w.access.get(me, b).readable() {
+            return Attempt::Fault(b);
+        }
+        // Tardis read-only copies additionally expire lazily against the
+        // program timestamp (owners hold ReadWrite and are exempt).
+        if w.has_tardis
+            && w.access.get(me, b) == Access::Read
+            && w.protocol_of(b) == Protocol::Tardis
+            && !tardis::lease_valid(w, me, b, now)
+        {
             return Attempt::Fault(b);
         }
     }
@@ -65,6 +74,9 @@ pub fn try_write(w: &mut ProtoWorld, me: NodeId, addr: usize, data: &[u8], now: 
                     }
                     return Attempt::LocalFault(hlrc::local_write_fault(w, me, b, now), b);
                 }
+                // Tardis upgrades go through the home: exclusivity needs a
+                // freshly minted write timestamp.
+                Protocol::Tardis => return Attempt::Fault(b),
             },
             Access::Invalid => return Attempt::Fault(b),
         }
@@ -89,6 +101,7 @@ pub fn start_fault(
         Protocol::Sc => sc::start_fault(w, s, me, b, kind),
         Protocol::SwLrc => swlrc::start_fault(w, s, me, b, kind),
         Protocol::Hlrc => hlrc::start_fault(w, s, me, b, kind),
+        Protocol::Tardis => tardis::start_fault(w, s, me, b, kind),
     }
 }
 

@@ -4,7 +4,9 @@
 //! queue; every barrier has a static manager likewise. Under the LRC
 //! protocols, lock grants and barrier releases carry vector timestamps and
 //! the write notices the acquirer is causally missing — this is the entire
-//! consistency-information transport of LRC. Under SC the same messages flow
+//! consistency-information transport of LRC. Under Tardis they carry the
+//! releaser's scalar program timestamp instead (8 bytes; the acquirer's
+//! merge is what expires stale leases). Under SC the same messages flow
 //! but carry no consistency payload (synchronization is cheap in SC, paper
 //! §5.2.2).
 
@@ -28,6 +30,8 @@ pub struct LockState {
     pub holder: NodeId,
     /// Vector time of the last release (LRC).
     pub last_vt: Option<VClock>,
+    /// Largest program timestamp released through this lock (Tardis).
+    pub last_pts: u64,
     /// Waiting acquirers in arrival order, with their request timestamps.
     pub queue: VecDeque<(NodeId, Option<VClock>)>,
 }
@@ -35,9 +39,13 @@ pub struct LockState {
 /// State of one barrier at its manager.
 #[derive(Debug, Default)]
 pub struct BarrierState {
-    /// Nodes that have arrived this episode, with their vector times.
-    pub arrived: Vec<(NodeId, Option<VClock>)>,
+    /// Nodes that have arrived this episode, with their vector times and
+    /// program timestamps.
+    pub arrived: Vec<(NodeId, Option<VClock>, Option<u64>)>,
 }
+
+/// Wire size of a piggybacked Tardis program timestamp.
+const PTS_BYTES: u64 = 8;
 
 /// Manager node for a lock.
 pub fn lock_manager(w: &ProtoWorld, l: usize) -> NodeId {
@@ -84,7 +92,8 @@ pub fn lock_release_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId,
     }
     let mgr = lock_manager(w, l);
     let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
-    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
+    let pts = w.has_tardis.then(|| w.td.pts[me]);
+    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes()) + pts.map_or(0, |_| PTS_BYTES);
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
     w.send(
         s,
@@ -97,6 +106,7 @@ pub fn lock_release_start(w: &mut ProtoWorld, s: &mut Sched<Packet>, me: NodeId,
             from: me,
             lock: l,
             vt,
+            pts,
         },
     );
     elapsed
@@ -117,7 +127,8 @@ pub fn barrier_arrive_start(
     }
     let mgr = barrier_manager(w, bar);
     let vt = w.has_lrc.then(|| w.nodes[me].vt.clone());
-    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes());
+    let pts = w.has_tardis.then(|| w.td.pts[me]);
+    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes()) + pts.map_or(0, |_| PTS_BYTES);
     let depart = s.now() + elapsed + w.cfg.cost.handler_ns;
     w.send(
         s,
@@ -130,6 +141,7 @@ pub fn barrier_arrive_start(
             from: me,
             barrier: bar,
             vt,
+            pts,
         },
     );
     elapsed
@@ -163,6 +175,7 @@ pub fn handle_lock_rel(
     from: NodeId,
     l: usize,
     vt: Option<VClock>,
+    pts: Option<u64>,
 ) {
     #[cfg(feature = "mutate")]
     let vt = {
@@ -181,6 +194,9 @@ pub fn handle_lock_rel(
     let lock = w.lock_mut(l);
     debug_assert!(lock.held && lock.holder == from, "release by non-holder");
     lock.last_vt = vt;
+    if let Some(p) = pts {
+        lock.last_pts = lock.last_pts.max(p);
+    }
     match lock.queue.pop_front() {
         Some((next, req_vt)) => {
             lock.holder = next;
@@ -230,8 +246,10 @@ fn send_grant(
             },
         );
     }
-    let ctrl =
-        vt.as_ref().map_or(0, |v| v.wire_bytes()) + notices.len() as u64 * WRITE_NOTICE_BYTES;
+    let pts = w.has_tardis.then(|| w.locks[l].last_pts);
+    let ctrl = vt.as_ref().map_or(0, |v| v.wire_bytes())
+        + notices.len() as u64 * WRITE_NOTICE_BYTES
+        + pts.map_or(0, |_| PTS_BYTES);
     let depart = s.now() + w.cfg.cost.sync_handler_ns;
     w.send(
         s,
@@ -244,8 +262,21 @@ fn send_grant(
             lock: l,
             vt,
             notices,
+            pts,
         },
     );
+}
+
+/// Merge a program timestamp carried by a grant or barrier release into
+/// the acquirer's (Tardis): a pts jumped past a lease end is what expires
+/// the corresponding copy at the next read.
+fn merge_pts(w: &mut ProtoWorld, me: NodeId, pts: Option<u64>, now: Time) {
+    let Some(p) = pts else { return };
+    debug_assert!(w.has_tardis, "pts piggyback on a non-Tardis run");
+    if let Some(c) = w.check.as_deref_mut() {
+        c.td_merge(me, p, now);
+    }
+    w.td.pts[me] = w.td.pts[me].max(p);
 }
 
 /// Lock grant at the acquirer: apply consistency information and resume.
@@ -256,12 +287,14 @@ pub fn handle_lock_grant(
     l: usize,
     vt: Option<VClock>,
     notices: Vec<Notice>,
+    pts: Option<u64>,
 ) {
     if let Some(c) = w.check.as_deref_mut() {
         // `w.nodes[me].vt` is still the request-time clock: the acquirer
         // has been blocked since it sent the request.
         c.lock_acquire(me, l, vt.as_ref(), &notices, &w.nodes[me].vt, s.now());
     }
+    merge_pts(w, me, pts, s.now());
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
     let at = s.now() + w.cfg.cost.handler_ns + elapsed;
     w.obs.span_wake(me, at);
@@ -276,10 +309,11 @@ pub fn handle_bar_arrive(
     from: NodeId,
     bar: usize,
     vt: Option<VClock>,
+    pts: Option<u64>,
 ) {
     let n = w.cfg.nodes;
     let barrier = w.barrier_mut(bar);
-    barrier.arrived.push((from, vt));
+    barrier.arrived.push((from, vt, pts));
     if barrier.arrived.len() < n {
         return;
     }
@@ -287,16 +321,29 @@ pub fn handle_bar_arrive(
     // Merge every participant's vector time.
     let merged = if w.has_lrc {
         let mut m = VClock::new(n);
-        for (_, vt) in &arrived {
+        for (_, vt, _) in &arrived {
             m.merge(vt.as_ref().expect("LRC barrier arrival without vt"));
         }
         Some(m)
     } else {
         None
     };
+    // Merge every participant's program timestamp: the release carries the
+    // episode's maximum, so stale leases expire cluster-wide.
+    let merged_pts = if w.has_tardis {
+        Some(
+            arrived
+                .iter()
+                .map(|(_, _, p)| p.expect("Tardis barrier arrival without pts"))
+                .max()
+                .unwrap_or(0),
+        )
+    } else {
+        None
+    };
     // Release everyone; the manager serializes the sends.
     let per_send = w.cfg.cost.sync_handler_ns;
-    for (i, (node, vt_j)) in arrived.into_iter().enumerate() {
+    for (i, (node, vt_j, _)) in arrived.into_iter().enumerate() {
         let notices = match (&merged, &vt_j) {
             (Some(m), Some(have)) => {
                 let missing = VClock::missing_intervals(have, m);
@@ -316,7 +363,8 @@ pub fn handle_bar_arrive(
             );
         }
         let ctrl = merged.as_ref().map_or(0, |_| n as u64 * VT_ENTRY_BYTES)
-            + notices.len() as u64 * WRITE_NOTICE_BYTES;
+            + notices.len() as u64 * WRITE_NOTICE_BYTES
+            + merged_pts.map_or(0, |_| PTS_BYTES);
         let depart = s.now() + per_send * (i as Time + 1);
         w.occupy(s, me, per_send);
         w.send(
@@ -330,6 +378,7 @@ pub fn handle_bar_arrive(
                 barrier: bar,
                 vt: merged.clone(),
                 notices,
+                pts: merged_pts,
             },
         );
     }
@@ -343,6 +392,7 @@ pub fn handle_bar_release(
     bar: usize,
     vt: Option<VClock>,
     notices: Vec<Notice>,
+    pts: Option<u64>,
 ) {
     #[allow(unused_mut)]
     let mut skip_join = false;
@@ -366,6 +416,7 @@ pub fn handle_bar_release(
             s.now(),
         );
     }
+    merge_pts(w, me, pts, s.now());
     let elapsed = lrc::acquire_actions(w, s, me, vt.as_ref(), &notices);
     let at = s.now() + w.cfg.cost.handler_ns + elapsed;
     w.obs.span_wake(me, at);
@@ -412,7 +463,7 @@ mod tests {
         handle_lock_req(&mut w, &mut s, 1, 3, 1, None);
         assert_eq!(w.locks[1].queue.len(), 1);
         assert!(s.take_events().is_empty(), "queued acquire sends nothing");
-        handle_lock_rel(&mut w, &mut s, 1, 2, 1, None);
+        handle_lock_rel(&mut w, &mut s, 1, 2, 1, None, None);
         assert!(w.locks[1].held);
         assert_eq!(w.locks[1].holder, 3);
         let evs = s.take_events();
@@ -444,7 +495,7 @@ mod tests {
         rel_vt.tick(2);
         w.lock_mut(1).held = true;
         w.lock_mut(1).holder = 2;
-        handle_lock_rel(&mut w, &mut s, 1, 2, 1, Some(rel_vt));
+        handle_lock_rel(&mut w, &mut s, 1, 2, 1, Some(rel_vt), None);
         // Node 3 acquires with an empty vt: the grant must carry the notice.
         handle_lock_req(&mut w, &mut s, 1, 3, 1, Some(VClock::new(4)));
         let evs = s.take_events();
@@ -467,13 +518,13 @@ mod tests {
     fn barrier_releases_only_when_everyone_arrived() {
         let (mut w, mut s) = setup(crate::Protocol::Sc);
         for node in 0..3 {
-            handle_bar_arrive(&mut w, &mut s, 0, node, 0, None);
+            handle_bar_arrive(&mut w, &mut s, 0, node, 0, None, None);
             assert!(
                 s.take_events().is_empty(),
                 "node {node} must not release early"
             );
         }
-        handle_bar_arrive(&mut w, &mut s, 0, 3, 0, None);
+        handle_bar_arrive(&mut w, &mut s, 0, 3, 0, None, None);
         let evs = s.take_events();
         let released: Vec<_> = evs
             .iter()

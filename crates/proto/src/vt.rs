@@ -1,4 +1,32 @@
-//! Vector timestamps for the lazy release consistency protocols.
+//! Vector timestamps for the lazy release consistency protocols, and the
+//! scalar logical-lease timestamps used by the Tardis protocol.
+
+/// Length, in logical-timestamp units, of a Tardis read lease.
+///
+/// A read grant covers the block up to `max(rts, max(pts, wts) + LEASE_TS)`:
+/// the lease must reach past both the home's write timestamp and the
+/// requester's own program timestamp or it would be born expired. Logical
+/// units advance only at exclusive write grants and synchronization merges,
+/// so a short lease already survives many consecutive reads; a longer one
+/// trades fewer renewals for larger `wts` jumps at writes.
+pub const LEASE_TS: u64 = 8;
+
+/// Lease end granted to a read of a block with write timestamp `wts`, by a
+/// requester at program timestamp `pts`, when the largest lease already
+/// granted ends at `rts`. Monotone in all three inputs, and never below
+/// `rts` — the home's read timestamp never moves backwards.
+#[inline]
+pub fn lease_grant(rts: u64, wts: u64, pts: u64) -> u64 {
+    rts.max(pts.max(wts) + LEASE_TS)
+}
+
+/// The write timestamp minted for an exclusive write grant: strictly after
+/// both the previous write and every outstanding read lease, so the write
+/// is logically ordered after every read the home has ever promised.
+#[inline]
+pub fn wts_grant(wts: u64, rts: u64) -> u64 {
+    wts.max(rts) + 1
+}
 
 /// A vector clock over cluster nodes.
 ///
@@ -222,5 +250,25 @@ mod tests {
             j3.merge(&j);
             assert_eq!(j3, j, "case {case}: idempotent");
         }
+    }
+
+    #[test]
+    fn lease_grant_is_monotone_and_never_born_expired() {
+        // A lease must cover the requester's own timestamp (else the read
+        // would expire immediately) and never shrink the home's rts.
+        assert_eq!(lease_grant(0, 1, 1), 1 + LEASE_TS);
+        assert_eq!(lease_grant(50, 1, 1), 50, "rts never moves backwards");
+        let l = lease_grant(10, 5, 40);
+        assert!(l >= 40, "covers the requester's pts");
+        assert!(l >= 10, "never shrinks the home's rts");
+        assert!(l >= 5 + LEASE_TS, "spans a full lease past wts");
+    }
+
+    #[test]
+    fn wts_grant_jumps_past_outstanding_leases() {
+        assert_eq!(wts_grant(1, 1), 2, "no leases: plain increment");
+        assert_eq!(wts_grant(3, 20), 21, "jumps past the largest lease");
+        let w = wts_grant(7, 7 + LEASE_TS);
+        assert!(w > 7 + LEASE_TS, "strictly after every granted lease");
     }
 }

@@ -19,8 +19,9 @@ use crate::pool::{BufPool, TwinTable};
 use crate::sc::ScState;
 use crate::swlrc::SwState;
 use crate::sync::{BarrierState, LockState};
+use crate::tardis::TdState;
 use crate::vt::VClock;
-use crate::{hlrc, sc, swlrc, sync};
+use crate::{hlrc, sc, swlrc, sync, tardis};
 
 /// Per-node protocol runtime state.
 #[derive(Debug)]
@@ -90,6 +91,8 @@ pub struct ProtoWorld {
     pub sw: SwState,
     /// HLRC home state.
     pub hl: HlState,
+    /// Tardis timestamp-lease state (empty shell for non-Tardis runs).
+    pub td: TdState,
     /// Lock manager state, grown on demand (lock ids are dense).
     pub locks: Vec<LockState>,
     /// Barrier manager state, keyed by barrier id (ids may be sparse, e.g.
@@ -106,6 +109,9 @@ pub struct ProtoWorld {
     /// Whether any region runs an LRC protocol (drives the sync substrate's
     /// consistency-information transport).
     pub has_lrc: bool,
+    /// Whether any region runs Tardis (drives the program-timestamp
+    /// piggyback on sync messages and the lazy lease-expiry check).
+    pub has_tardis: bool,
     /// Per-region counters (faults, invalidations, traffic), summed over
     /// nodes.
     pub region_stats: Vec<RegionCounters>,
@@ -148,6 +154,7 @@ impl ProtoWorld {
             .map(|r| cfg.region_protocol(r))
             .collect();
         let has_lrc = region_proto.iter().any(|p| p.is_lrc());
+        let has_tardis = region_proto.contains(&Protocol::Tardis);
         ProtoWorld {
             data: DataStore::new(n, cfg.layout.clone()),
             access: AccessTable::new(n, nb),
@@ -157,6 +164,7 @@ impl ProtoWorld {
             sc: ScState::new(nb),
             sw: SwState::new(n, nb),
             hl: HlState::new(n, nb),
+            td: TdState::new(n, nb, has_tardis),
             locks: Vec::new(),
             barriers: HashMap::new(),
             log: NoticeLog::new(n),
@@ -166,6 +174,7 @@ impl ProtoWorld {
             profile: cfg.profile.then(|| SharingProfile::new(cfg.layout.size())),
             region_proto,
             has_lrc,
+            has_tardis,
             pool: BufPool::default(),
             fabric: Fabric::new(cfg.fabric.clone(), n),
             check: None,
@@ -651,28 +660,95 @@ impl World for ProtoWorld {
             ProtoMsg::HlNowHome { block } => {
                 hlrc::handle_now_home(self, s, to, block);
             }
+            // Tardis
+            ProtoMsg::TdFetch {
+                from,
+                block,
+                kind,
+                pts,
+                have_wts,
+            } => {
+                self.occupy(s, to, handler);
+                tardis::handle_fetch(
+                    self,
+                    s,
+                    to,
+                    block,
+                    tardis::TdWaiter {
+                        from,
+                        kind,
+                        pts,
+                        have_wts,
+                    },
+                );
+            }
+            ProtoMsg::TdData {
+                block,
+                wts,
+                lease,
+                home,
+            } => {
+                tardis::handle_data(self, s, to, block, wts, lease, home);
+            }
+            ProtoMsg::TdLease { block, lease } => {
+                tardis::handle_lease(self, s, to, block, lease);
+            }
+            ProtoMsg::TdWGrant {
+                block,
+                wts,
+                with_data,
+                home,
+            } => {
+                tardis::handle_wgrant(self, s, to, block, wts, with_data, home);
+            }
+            ProtoMsg::TdRecall { block } => {
+                self.occupy(s, to, handler);
+                tardis::handle_recall(self, s, to, block);
+            }
+            ProtoMsg::TdWriteback { from, block } => {
+                tardis::handle_writeback(self, s, to, from, block);
+            }
+            ProtoMsg::TdAck { from, block } => {
+                tardis::handle_ack(self, s, to, from, block);
+            }
             // Synchronization
             ProtoMsg::LockReq { from, lock, vt } => {
                 self.occupy(s, to, self.cfg.cost.sync_handler_ns);
                 sync::handle_lock_req(self, s, to, from, lock, vt);
             }
-            ProtoMsg::LockGrant { lock, vt, notices } => {
-                sync::handle_lock_grant(self, s, to, lock, vt, notices);
+            ProtoMsg::LockGrant {
+                lock,
+                vt,
+                notices,
+                pts,
+            } => {
+                sync::handle_lock_grant(self, s, to, lock, vt, notices, pts);
             }
-            ProtoMsg::LockRel { from, lock, vt } => {
+            ProtoMsg::LockRel {
+                from,
+                lock,
+                vt,
+                pts,
+            } => {
                 self.occupy(s, to, self.cfg.cost.sync_handler_ns);
-                sync::handle_lock_rel(self, s, to, from, lock, vt);
+                sync::handle_lock_rel(self, s, to, from, lock, vt, pts);
             }
-            ProtoMsg::BarArrive { from, barrier, vt } => {
+            ProtoMsg::BarArrive {
+                from,
+                barrier,
+                vt,
+                pts,
+            } => {
                 self.occupy(s, to, self.cfg.cost.sync_handler_ns);
-                sync::handle_bar_arrive(self, s, to, from, barrier, vt);
+                sync::handle_bar_arrive(self, s, to, from, barrier, vt, pts);
             }
             ProtoMsg::BarRelease {
                 barrier,
                 vt,
                 notices,
+                pts,
             } => {
-                sync::handle_bar_release(self, s, to, barrier, vt, notices);
+                sync::handle_bar_release(self, s, to, barrier, vt, notices, pts);
             }
         }
         self.obs.span_dispatch_done();
@@ -705,6 +781,9 @@ pub fn final_image(w: &ProtoWorld) -> Vec<u8> {
                 .unwrap_or_else(|| w.homes.directory_node(b))
         }
         Protocol::Hlrc => w.route_home(b),
+        // Tardis: the exclusive owner's copy is the only one ahead of the
+        // home's master copy (writebacks land at every recall).
+        Protocol::Tardis => w.td.owner_of(b).unwrap_or_else(|| w.route_home(b)),
     };
     // Consecutive blocks are usually homed at the same node (first-touch on
     // contiguous per-node partitions); coalesce runs of same-source blocks

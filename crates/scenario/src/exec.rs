@@ -145,6 +145,9 @@ fn metrics(r: &RepOutcome) -> Vec<(&'static str, f64)> {
         ("write_faults", t.write_faults as f64),
         ("invalidations", t.invalidations as f64),
         ("diffs_created", t.diffs_created as f64),
+        ("lease_renewals", t.lease_renewals as f64),
+        ("lease_expiries", t.lease_expiries as f64),
+        ("wts_bumps", t.wts_bumps as f64),
         ("fabric_retries", t.fabric_retries as f64),
         ("sim_events", r.stats.sim_events as f64),
         ("sim_events_per_sec", sim_events_per_sec(&r.stats)),
@@ -220,6 +223,10 @@ impl ScenarioOutcome {
         v.set("write_faults", t.write_faults);
         v.set("invalidations", t.invalidations);
         v.set("diffs_created", t.diffs_created);
+        // Tardis lease traffic (schema v3): zero under the other protocols.
+        v.set("lease_renewals", t.lease_renewals);
+        v.set("lease_expiries", t.lease_expiries);
+        v.set("wts_bumps", t.wts_bumps);
         v.set("fabric_retries", t.fabric_retries);
         v.set("sim_events", r.stats.sim_events);
         v.set("sim_events_per_sec", sim_events_per_sec(&r.stats));

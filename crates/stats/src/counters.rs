@@ -86,6 +86,15 @@ define_counters! {
     write_notices_recv: sum,
     /// Blocks invalidated at this node (eager for SC, acquire-time for LRC).
     invalidations: sum,
+    /// Tardis: read leases renewed header-only at this node's homes (the
+    /// requester already held the current data, so no payload moved).
+    lease_renewals: sum,
+    /// Tardis: reads that found their lease expired against the program
+    /// timestamp and had to fault back to the home.
+    lease_expiries: sum,
+    /// Tardis: exclusive write grants whose timestamp had to jump past
+    /// outstanding read leases (`rts > wts` at grant time).
+    wts_bumps: sum,
     /// Lock acquires performed by this node.
     lock_acquires: sum,
     /// Lock acquires that needed remote communication.

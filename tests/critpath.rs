@@ -76,6 +76,13 @@ fn critpath_exact_all_apps_hlrc() {
     }
 }
 
+#[test]
+fn critpath_exact_all_apps_tardis() {
+    for app in all_app_names() {
+        check_critpath(app, Protocol::Tardis, 4096);
+    }
+}
+
 /// Span tracing is observation only: enabling it changes neither the
 /// modeled times nor the event count nor any per-node counter.
 #[test]

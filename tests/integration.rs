@@ -59,6 +59,55 @@ fn lrc_machinery_only_engages_for_lrc_protocols() {
 }
 
 #[test]
+fn tardis_leases_expire_across_barrier_episodes() {
+    // Barrier-only app with heavy read sharing: every barrier merges the
+    // writers' program timestamps into every reader, so leases taken in
+    // one episode are dead by the next and each episode's reads must
+    // re-lease. The run must stay checker-clean while doing so, and the
+    // lease machinery must be visibly engaged: expiries from crossing the
+    // barrier, and write grants that had to clear outstanding leases.
+    let td = run_experiment(
+        &RunConfig::new(Protocol::Tardis, 1024).with_check(),
+        small("ocean-rowwise"),
+    );
+    assert!(td.check.is_ok());
+    assert!(td.violations.is_empty(), "{:?}", td.violations);
+    let t = td.stats.totals();
+    assert!(t.lease_expiries > 0, "barriers must expire leases");
+    assert!(t.wts_bumps > 0, "writes must clear outstanding leases");
+    assert_eq!(t.write_notices_sent, 0, "Tardis never sends write notices");
+    assert_eq!(t.twins_created, 0, "Tardis never twins");
+    assert_eq!(t.diffs_created, 0, "Tardis never diffs");
+    // The lease counters are Tardis-only: zero under the other protocols.
+    for p in [Protocol::Sc, Protocol::SwLrc, Protocol::Hlrc] {
+        let r = run_experiment(&RunConfig::new(p, 1024), small("ocean-rowwise"));
+        let t = r.stats.totals();
+        assert_eq!(
+            (t.lease_renewals, t.lease_expiries, t.wts_bumps),
+            (0, 0, 0),
+            "{p:?} must not touch the lease counters"
+        );
+    }
+}
+
+#[test]
+fn tardis_verifies_under_interrupt_notification() {
+    // The interrupt notification model (70 µs async cost, deferred
+    // invalidation grace window) rides the same machinery for every
+    // protocol; Tardis recalls and lease grants must stay correct and
+    // checker-clean under it, not just under polling.
+    let r = run_experiment(
+        &RunConfig::new(Protocol::Tardis, 1024)
+            .with_notify(Notify::Interrupt)
+            .with_check(),
+        small("water-nsquared"),
+    );
+    assert!(r.check.is_ok());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(r.stats.totals().interrupts_taken > 0);
+}
+
+#[test]
 fn invalidations_are_eager_under_sc_and_lazy_under_lrc() {
     // Under SC, every write miss on a shared block invalidates eagerly;
     // under the LRC protocols invalidations only happen at acquires, so
@@ -279,7 +328,7 @@ fn parallel_sweep_matches_serial() {
 #[test]
 fn windowed_engine_matches_serial_across_the_figure1_grid() {
     // The centerpiece of the conservative-PDES engine: every cell of the
-    // Figure 1 grid (12 apps x 3 protocols x 4 granularities) must produce
+    // Figure 1 grid (12 apps x 4 protocols x 4 granularities) must produce
     // bit-identical statistics under DSM_SIM_PAR=4 windowed execution and
     // under the classic serial engine. The windowed committer executes all
     // world phases in exact global (time, seq) order, so any divergence at
@@ -293,7 +342,7 @@ fn windowed_engine_matches_serial_across_the_figure1_grid() {
                 .flat_map(move |&p| GRANULARITIES.iter().map(move |&g| CellSpec::new(app, p, g)))
         })
         .collect();
-    assert_eq!(specs.len(), 144);
+    assert_eq!(specs.len(), 192);
     let serial = run_cells_fresh_sim(&specs, 4, AppSize::Small, 1);
     let windowed = run_cells_fresh_sim(&specs, 4, AppSize::Small, 4);
     assert_eq!(serial.len(), windowed.len());

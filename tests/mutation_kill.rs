@@ -227,6 +227,36 @@ fn kill_hb_skip_barrier() {
     );
 }
 
+#[test]
+fn kill_td_lease_overrun() {
+    assert_killed(
+        Protocol::Tardis,
+        FabricConfig::ideal(),
+        Mutation::TdLeaseOverrun,
+        "td-lease-overrun",
+    );
+}
+
+#[test]
+fn kill_td_wts_stall() {
+    assert_killed(
+        Protocol::Tardis,
+        FabricConfig::ideal(),
+        Mutation::TdWtsStall,
+        "td-wts-monotone",
+    );
+}
+
+#[test]
+fn kill_td_wts_under_lease() {
+    assert_killed(
+        Protocol::Tardis,
+        FabricConfig::ideal(),
+        Mutation::TdWtsUnderLease,
+        "td-write-under-lease",
+    );
+}
+
 /// The same mutations under the *other* LRC protocol still register: the
 /// kill matrix is not an artifact of one protocol's timing.
 #[test]

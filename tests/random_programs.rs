@@ -22,7 +22,7 @@ fn random_drf_programs_verify_everywhere() {
         let words = 32 + rng.below(128);
         let phases = 2 + rng.below(4);
         let locks = rng.below(4);
-        let protocol = Protocol::ALL[rng.below(3)];
+        let protocol = Protocol::ALL[rng.below(Protocol::ALL.len())];
         let block = [64usize, 256, 1024, 4096][rng.below(4)];
         let program = RandomDrf::new(seed, words, phases, locks);
         let r = run_experiment(&RunConfig::new(protocol, block), Arc::new(program));
@@ -67,7 +67,7 @@ fn random_drf_programs_survive_fault_injection() {
         let words = 32 + rng.below(96);
         let phases = 2 + rng.below(3);
         let locks = rng.below(4);
-        let protocol = Protocol::ALL[case % 3];
+        let protocol = Protocol::ALL[case % Protocol::ALL.len()];
         let block = [64usize, 256, 1024, 4096][rng.below(4)];
         let program = RandomDrf::new(seed, words, phases, locks);
         let clean = run_parallel(&RunConfig::new(protocol, block), Arc::new(program.clone()));
