@@ -33,6 +33,16 @@
 //! `--series WINDOW_US` collects windowed per-node time-series counters at
 //! the given window width and prints them (schema-versioned `"series"`
 //! JSONL records under `--json`).
+//! `--mc CONFIG` ignores APP/PROTOCOL/BLOCK and runs the exhaustive
+//! schedule-space model checker (`dsm-mc`) on a bounded micro-program
+//! instead of benchmarking. CONFIG is a comma list:
+//! `proto=sc|swlrc|hlrc|tardis`, `prog=msg|lock|ping|pingpong`,
+//! `nodes=N`, `rounds=N`, `faults=BUDGET`, `block=BYTES`, `max=SCHEDULES`,
+//! `steps=MAX_COMMITS`, and the switches `raw` (disable DPOR) and
+//! `nodedup` (disable state dedup). Prints exploration statistics (a
+//! schema-versioned `"mc"` record plus one `"mc-violation"` record per
+//! violation example under `--json`) and exits nonzero when any schedule
+//! produced a violation.
 use dsm_adapt::{choose_policies, profile_run, ModelParams, RegionDecision};
 use dsm_apps::registry::app;
 use dsm_core::{run_experiment, ExperimentResult, FabricConfig, Protocol, RegionReport, RunConfig};
@@ -139,6 +149,153 @@ fn run_sweep(name: &str) {
     );
 }
 
+/// Parse the `--mc` CONFIG string, run the exploration, print the report,
+/// and exit (0 clean, 1 violations, 2 bad config).
+fn run_mc(spec: &str, json: bool) -> ! {
+    use dsm_mc::{explore, program, McConfig};
+
+    let bad = |msg: String| -> ! {
+        eprintln!("--mc: {msg}");
+        std::process::exit(2);
+    };
+    let mut proto = Protocol::Sc;
+    let mut prog_name = "msg".to_string();
+    let mut nodes = 2usize;
+    let mut rounds = 1usize;
+    let mut faults = 0u32;
+    let mut block = 256usize;
+    let mut reduce = true;
+    let mut dedup = true;
+    let mut max_schedules = 0u64;
+    let mut max_steps = 100_000u64;
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part.split_once('=').unwrap_or((part, ""));
+        let num = || -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| bad(format!("{k} needs a number, got {v:?}")))
+        };
+        match k {
+            "proto" => {
+                proto = v
+                    .parse()
+                    .unwrap_or_else(|e| bad(format!("bad protocol {v:?}: {e}")))
+            }
+            "prog" => prog_name = v.to_string(),
+            "nodes" => nodes = num() as usize,
+            "rounds" => rounds = num() as usize,
+            "faults" => faults = num() as u32,
+            "block" => block = num() as usize,
+            "max" => max_schedules = num(),
+            "steps" => max_steps = num(),
+            "raw" => reduce = false,
+            "nodedup" => dedup = false,
+            _ => bad(format!("unknown key {k:?}")),
+        }
+    }
+    let prog = match prog_name.as_str() {
+        "msg" => program::msg_pass(),
+        "lock" => program::lock_counter(nodes.max(2), rounds.max(1)),
+        "ping" => program::ping_rounds(nodes.max(2), rounds.max(1)),
+        "pingpong" => program::lock_pingpong(rounds.max(1)),
+        other => bad(format!("unknown program {other:?}")),
+    };
+    let mut cfg = McConfig::new(proto);
+    cfg.block_size = block;
+    cfg.fault_budget = faults;
+    cfg.reduce = reduce;
+    cfg.dedup = dedup;
+    cfg.max_schedules = max_schedules;
+    cfg.max_steps = max_steps;
+    let t0 = std::time::Instant::now();
+    let rep = explore(&cfg, &prog);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total_violations: u64 = rep.violation_counts.values().sum();
+    if json {
+        let mut v = Value::obj();
+        v.set("type", "mc");
+        v.set("schema", 1u32);
+        v.set("protocol", proto.name());
+        v.set("program", prog.name.as_str());
+        v.set("nodes", prog.nodes());
+        v.set("block", block);
+        v.set("fault_budget", u64::from(faults));
+        v.set("reduce", reduce);
+        v.set("dedup", dedup);
+        v.set("schedules", rep.schedules);
+        v.set("pruned_sleep", rep.pruned_sleep);
+        v.set("pruned_dedup", rep.pruned_dedup);
+        v.set("pruned_steps", rep.pruned_steps);
+        v.set("branches_skipped", rep.branches_skipped);
+        v.set("executions", rep.executions());
+        v.set("states", rep.states);
+        v.set("choice_points", rep.choice_points);
+        v.set("max_depth", rep.max_depth);
+        v.set("deadlocks", rep.deadlocks);
+        v.set("complete", rep.complete);
+        v.set("reduction_ratio", rep.reduction_ratio());
+        v.set("violations", total_violations);
+        let mut counts = Value::obj();
+        for (rule, n) in &rep.violation_counts {
+            counts.set(rule.as_str(), *n);
+        }
+        v.set("violation_counts", counts);
+        v.set("elapsed_ms", elapsed_ms);
+        println!("{v}");
+        for viol in &rep.violations {
+            let mut r = Value::obj();
+            r.set("type", "mc-violation");
+            r.set("schema", 1u32);
+            r.set("rule", viol.rule);
+            r.set("node", viol.node);
+            match viol.block {
+                Some(b) => r.set("block", b),
+                None => r.set("block", Value::Null),
+            };
+            r.set("time_ns", viol.time);
+            r.set("detail", viol.detail.as_str());
+            r.set("display", viol.to_string());
+            println!("{r}");
+        }
+    } else {
+        println!(
+            "mc {} {}@{}: {} schedule(s) explored in {elapsed_ms:.1}ms ({})",
+            prog.name,
+            proto.name(),
+            block,
+            rep.schedules,
+            if rep.complete {
+                "schedule space exhausted"
+            } else {
+                "bounded early exit"
+            }
+        );
+        println!(
+            "  pruned: sleep={} dedup={} steps={}  skipped-branches={}  reduction>={:.2}x",
+            rep.pruned_sleep,
+            rep.pruned_dedup,
+            rep.pruned_steps,
+            rep.branches_skipped,
+            rep.reduction_ratio()
+        );
+        println!(
+            "  states={} choice-points={} max-depth={} deadlocks={} fault-budget={}",
+            rep.states, rep.choice_points, rep.max_depth, rep.deadlocks, faults
+        );
+        if total_violations == 0 {
+            println!("  verdict: clean (mirrors + race detector + value oracles)");
+        } else {
+            println!("  verdict: {total_violations} violation(s)");
+            for (rule, n) in &rep.violation_counts {
+                println!("    {rule}: {n}");
+            }
+            for viol in &rep.violations {
+                println!("    {viol}");
+            }
+        }
+    }
+    std::process::exit(if total_violations == 0 { 0 } else { 1 });
+}
+
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut json = false;
@@ -149,6 +306,7 @@ fn main() {
     let mut fabric_spec: Option<String> = None;
     let mut critpath = false;
     let mut series_us: Option<u64> = None;
+    let mut mc_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -180,6 +338,12 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--mc" => {
+                mc_spec = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--mc requires a config (e.g. proto=hlrc,prog=lock,faults=1)");
+                    std::process::exit(2);
+                }))
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -195,6 +359,9 @@ fn main() {
             }
             _ => positional.push(a),
         }
+    }
+    if let Some(spec) = mc_spec {
+        run_mc(&spec, json);
     }
     let name = positional.first().map(String::as_str).unwrap_or("lu");
     if sweep {
@@ -355,11 +522,7 @@ fn main() {
         } else {
             println!("  checker: {} violation(s)", r.violations.len());
             for v in &r.violations {
-                let block = v.block.map_or("-".to_string(), |b| b.to_string());
-                println!(
-                    "    [{}] node={} block={} t={}ns: {}",
-                    v.rule, v.node, block, v.time, v.detail
-                );
+                println!("    {v}");
             }
         }
     }

@@ -10,7 +10,20 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use dsm_mem::BlockId;
 use dsm_proto::msg::Notice;
 use dsm_proto::vt::VClock;
+use dsm_sim::rng::{fold64, StableHasher};
 use dsm_sim::NodeId;
+
+/// XOR-fold a hash map's entries into an order-independent digest, so a
+/// mirror's fingerprint never depends on `HashMap` iteration order.
+fn fold_map<'a, K: std::hash::Hash + 'a, V: std::hash::Hash + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in entries {
+        acc ^= StableHasher::fingerprint(&(k, v));
+    }
+    acc
+}
 
 /// A rule failure detected by a mirror: `(rule, detail)`. The caller wraps
 /// it into a full [`dsm_proto::Violation`] with node/block/time context.
@@ -93,6 +106,14 @@ impl LrcMirror {
         None
     }
 
+    /// Stable digest of the mirror state (model-checker fingerprinting).
+    pub fn mc_hash(&self) -> u64 {
+        fold64(
+            StableHasher::fingerprint(&self.log),
+            fold_map(self.lock_vt.iter()),
+        )
+    }
+
     /// A lock grant's time must dominate the last release on that lock —
     /// a grant built from a stale clock passes the completeness check (its
     /// notices are self-consistent with the stale time) but fails here.
@@ -163,6 +184,16 @@ impl HlMirror {
         self.notices.push((block, writer, interval));
     }
 
+    /// Stable digest of the mirror state (model-checker fingerprinting).
+    pub fn mc_hash(&self) -> u64 {
+        let mut h = 0u64;
+        for e in &self.flushed {
+            h ^= StableHasher::fingerprint(e);
+        }
+        h = fold64(h, fold_map(self.max_flushed.iter()));
+        fold64(h, StableHasher::fingerprint(&self.notices))
+    }
+
     /// End-of-run reconciliation: a notice whose interval never reached the
     /// home is only a violation when a *later* interval of the same
     /// (block, writer) did — diffs still in flight when the run quiesces
@@ -207,6 +238,11 @@ impl SwMirror {
         }
         *cur = v;
         None
+    }
+
+    /// Stable digest of the mirror state (model-checker fingerprinting).
+    pub fn mc_hash(&self) -> u64 {
+        fold_map(self.version.iter())
     }
 
     /// A release published a notice at version `v`. Fresh notices (newly
@@ -306,6 +342,15 @@ impl TdMirror {
         fail
     }
 
+    /// Stable digest of the mirror state (model-checker fingerprinting).
+    pub fn mc_hash(&self) -> u64 {
+        let mut h = fold_map(self.wts.iter());
+        h = fold64(h, fold_map(self.rts.iter()));
+        h = fold64(h, fold_map(self.owner.iter()));
+        h = fold64(h, fold_map(self.pts.iter()));
+        fold64(h, fold_map(self.lease.iter()))
+    }
+
     /// Node `me` merged a program timestamp carried by a sync grant.
     pub fn on_merge(&mut self, me: NodeId, pts: u64) {
         let p = self.pts.entry(me).or_insert(1);
@@ -368,13 +413,18 @@ pub struct FabricMirror {
     chan: HashMap<(NodeId, NodeId), Chan>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 struct Chan {
     next: u64,
     held: BTreeSet<u64>,
 }
 
 impl FabricMirror {
+    /// Stable digest of the mirror state (model-checker fingerprinting).
+    pub fn mc_hash(&self) -> u64 {
+        fold_map(self.chan.iter())
+    }
+
     /// Frame `seq` arrived on `src → to` and the fabric reports delivering
     /// `posted` payloads to the application.
     pub fn on_frame(&mut self, src: NodeId, to: NodeId, seq: u64, posted: usize) -> Option<Fail> {

@@ -325,6 +325,19 @@ impl Checker for RunChecker {
         }
     }
 
+    fn mc_fingerprint(&self) -> u64 {
+        use dsm_sim::rng::{fold64, StableHasher};
+        let mut h = self.det.mc_hash();
+        h = fold64(h, self.lrc.mc_hash());
+        h = fold64(h, self.hl.mc_hash());
+        h = fold64(h, self.sw.mc_hash());
+        h = fold64(h, self.td.mc_hash());
+        h = fold64(h, self.fab.mc_hash());
+        h = fold64(h, StableHasher::fingerprint(&self.violations));
+        h = fold64(h, StableHasher::fingerprint(&self.sync_ctx));
+        fold64(h, self.suppressed as u64)
+    }
+
     fn finalize(&mut self, now: Time) -> Vec<Violation> {
         let fails = self.hl.finalize();
         for f in fails {

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use dsm_proto::vt::VClock;
+use dsm_sim::rng::{fold64, StableHasher};
 use dsm_sim::NodeId;
 
 /// Shadow granularity in bytes.
@@ -27,7 +28,7 @@ pub const WORD: usize = 8;
 /// A packed `(node, clock)` epoch; raw 0 means "no access recorded".
 /// Node ids fit in 16 bits (clusters are ≤ 64 nodes) and clocks are ≥ 1
 /// (each node's own component starts ticked), so a real epoch is non-zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Epoch(u64);
 
 impl Epoch {
@@ -44,7 +45,7 @@ impl Epoch {
 }
 
 /// The read side of a word's shadow state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Readers {
     None,
     /// All reads so far are totally ordered; only the latest matters.
@@ -53,7 +54,7 @@ enum Readers {
     Many(Box<[u32]>),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 struct WordState {
     /// Last write epoch, raw-packed (0 = never written).
     w: u64,
@@ -76,13 +77,13 @@ pub struct Race {
 
 /// In-flight state of one barrier episode queue entry: the merged clock of
 /// all arrivers and how many passes have yet to consume it.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 struct BarEpisode {
     snapshot: VClock,
     reads_left: usize,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 struct BarState {
     gather: Option<VClock>,
     arrived: usize,
@@ -124,6 +125,33 @@ impl RaceDetector {
             words: HashMap::new(),
             raced: std::collections::HashSet::new(),
         }
+    }
+
+    /// Stable digest of the detector state (model-checker fingerprinting).
+    /// Hash-map/set containers are XOR-folded per entry so iteration order
+    /// cannot leak into the digest.
+    pub fn mc_hash(&self) -> u64 {
+        let mut h = StableHasher::fingerprint(&(self.n, &self.clocks, &self.armed));
+        let mut acc = 0u64;
+        for e in &self.locks {
+            acc ^= StableHasher::fingerprint(&e);
+        }
+        h = fold64(h, acc);
+        acc = 0;
+        for e in &self.bars {
+            acc ^= StableHasher::fingerprint(&e);
+        }
+        h = fold64(h, acc);
+        acc = 0;
+        for e in &self.words {
+            acc ^= StableHasher::fingerprint(&e);
+        }
+        h = fold64(h, acc);
+        acc = 0;
+        for w in &self.raced {
+            acc ^= StableHasher::fingerprint(w);
+        }
+        fold64(h, acc)
     }
 
     /// Start checking `me`'s accesses.

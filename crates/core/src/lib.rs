@@ -22,8 +22,8 @@ pub mod thread;
 pub use api::Dsm;
 pub use image::MemImage;
 pub use runner::{
-    run_checked, run_experiment, run_parallel, run_sequential, ExperimentResult, RegionPolicy,
-    RegionReport, RunConfig,
+    run_checked, run_experiment, run_parallel, run_parallel_mc, run_sequential, ExperimentResult,
+    RegionPolicy, RegionReport, RunConfig,
 };
 pub use seq::SeqDsm;
 pub use thread::DsmThread;

@@ -308,8 +308,34 @@ fn build_layout(cfg: &RunConfig, program: &dyn DsmProgram) -> (Layout, Vec<Proto
     (Layout::with_regions(size, &parts), protos)
 }
 
+/// Run `program` once under the model checker's controlled scheduler.
+///
+/// Identical to [`run_parallel`] except that the engine runs strictly
+/// serial with `hook` deciding every commit-point tie, and `fault_oracle`
+/// (when given) replaces the fabric's seeded fault dice with explicit
+/// per-transmission decisions. The hook may abort the run mid-schedule by
+/// returning `None`, which panics with [`dsm_sim::MC_PRUNE`]; callers are
+/// expected to wrap this in `catch_unwind`.
+pub fn run_parallel_mc(
+    cfg: &RunConfig,
+    program: Program,
+    hook: Box<dyn dsm_sim::McHook<ProtoWorld>>,
+    fault_oracle: Option<dsm_fabric::FaultOracle>,
+) -> RunOutcome {
+    run_parallel_inner(cfg, program, Some((hook, fault_oracle)))
+}
+
 /// Run `program` on the simulated cluster under `cfg`.
 pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
+    run_parallel_inner(cfg, program, None)
+}
+
+type McDrive = (
+    Box<dyn dsm_sim::McHook<ProtoWorld>>,
+    Option<dsm_fabric::FaultOracle>,
+);
+
+fn run_parallel_inner(cfg: &RunConfig, program: Program, mc: Option<McDrive>) -> RunOutcome {
     let (layout, region_protocols) = build_layout(cfg, program.as_ref());
     let size = layout.size();
     let pcfg = ProtoConfig {
@@ -361,13 +387,29 @@ pub fn run_parallel(cfg: &RunConfig, program: Program) -> RunOutcome {
         })
         .collect();
 
-    let par = if cfg.sim_threads > 1 {
-        let lookahead = cfg.fabric.lookahead_ns(cfg.latency.min_one_way());
-        SimPar::windowed(cfg.sim_threads, lookahead)
-    } else {
-        SimPar::serial()
+    let (mut world, end, sim_events) = match mc {
+        Some((hook, oracle)) => {
+            if let Some(o) = oracle {
+                world.fabric.set_fault_oracle(o);
+            }
+            let install = dsm_sim::McInstall {
+                hook,
+                msg_hash: Box::new(|to, pkt: &dsm_proto::Packet| {
+                    dsm_sim::rng::StableHasher::fingerprint(&(to, pkt))
+                }),
+            };
+            dsm_sim::run_cluster_mc(world, bodies, install)
+        }
+        None => {
+            let par = if cfg.sim_threads > 1 {
+                let lookahead = cfg.fabric.lookahead_ns(cfg.latency.min_one_way());
+                SimPar::windowed(cfg.sim_threads, lookahead)
+            } else {
+                SimPar::serial()
+            };
+            run_cluster_with(world, bodies, par)
+        }
     };
-    let (mut world, end, sim_events) = run_cluster_with(world, bodies, par);
     // Under a reliable fabric the engine keeps advancing through drained
     // retransmission timers after the last node finishes; the application
     // quiesced at the last App delivery, not at the engine's end time.

@@ -32,4 +32,4 @@ mod state;
 
 pub use config::{FabricConfig, FaultPlan, NiModel, RetryPolicy};
 pub use rng::{hit, mix64, roll};
-pub use state::{Fabric, RxOutcome, TxAction, TxOutcome};
+pub use state::{Fabric, FaultDecision, FaultOracle, RxOutcome, TxAction, TxOutcome};

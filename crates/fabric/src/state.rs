@@ -22,6 +22,24 @@ const LANE_JITTER: u64 = 5;
 /// Gap between an injected duplicate and its original (ns).
 const DUP_GAP_NS: u64 = 10_000;
 
+/// One transmission attempt's fault outcome, as decided by a model-checking
+/// oracle (instead of the sampled ppm dice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Drop this transmission (all copies).
+    pub drop: bool,
+    /// Emit a duplicate copy shortly behind the original.
+    pub dup: bool,
+    /// Reorder jitter added to the arrival time (0 = in order).
+    pub reorder_ns: Time,
+}
+
+/// Callback consulted once per transmission attempt `(from, to, seq,
+/// attempt)` when installed via [`Fabric::set_fault_oracle`]. The forced
+/// post-budget attempt still bypasses it, so delivery stays guaranteed and
+/// every fault schedule terminates.
+pub type FaultOracle = Box<dyn FnMut(NodeId, NodeId, u64, u32) -> FaultDecision + Send>;
+
 /// A schedule action produced by a transmission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxAction<P> {
@@ -116,7 +134,6 @@ impl<P> Default for RxChannel<P> {
 }
 
 /// The whole cluster's transport state.
-#[derive(Debug)]
 pub struct Fabric<P> {
     cfg: FabricConfig,
     nodes: usize,
@@ -130,6 +147,22 @@ pub struct Fabric<P> {
     rx: Vec<RxChannel<P>>,
     /// Unacked transmissions keyed by `(src, dst, seq)`.
     inflight: HashMap<(NodeId, NodeId, u64), Inflight<P>>,
+    /// Model-checking fault oracle; replaces the ppm dice when installed.
+    oracle: Option<FaultOracle>,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Fabric<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("cfg", &self.cfg)
+            .field("nodes", &self.nodes)
+            .field("send_free", &self.send_free)
+            .field("recv_free", &self.recv_free)
+            .field("next_seq", &self.next_seq)
+            .field("inflight", &self.inflight)
+            .field("oracle", &self.oracle.as_ref().map(|_| "installed"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: Clone> Fabric<P> {
@@ -144,12 +177,61 @@ impl<P: Clone> Fabric<P> {
             next_seq: vec![0; channels],
             rx: vec![RxChannel::default(); channels],
             inflight: HashMap::new(),
+            oracle: None,
         }
     }
 
     /// The configuration this fabric runs.
     pub fn cfg(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Install a model-checking fault oracle: every non-forced transmission
+    /// attempt consults it instead of rolling the configured ppm rates.
+    /// Use with a reliable configuration (zero-rate [`crate::FaultPlan`]):
+    /// retransmission is the recovery path for oracle-decided drops exactly
+    /// as for sampled ones.
+    pub fn set_fault_oracle(&mut self, oracle: FaultOracle) {
+        self.oracle = Some(oracle);
+    }
+
+    /// Stable fingerprint of the transport state, for model-checking state
+    /// deduplication. Unordered collections are combined commutatively so
+    /// the hash is independent of map iteration order.
+    pub fn mc_hash(&self) -> u64
+    where
+        P: std::hash::Hash,
+    {
+        use dsm_sim::rng::{fold64, StableHasher};
+        let mut h = 0u64;
+        for &t in &self.send_free {
+            h = fold64(h, t);
+        }
+        for &t in &self.recv_free {
+            h = fold64(h, t);
+        }
+        for &s in &self.next_seq {
+            h = fold64(h, s);
+        }
+        for c in &self.rx {
+            h = fold64(h, c.next);
+            for (seq, p) in &c.held {
+                h = fold64(h, *seq);
+                h = fold64(h, StableHasher::fingerprint(p));
+            }
+        }
+        let mut inflight = 0u64;
+        for ((s, d, q), e) in &self.inflight {
+            let mut eh = fold64(0, *s as u64);
+            eh = fold64(eh, *d as u64);
+            eh = fold64(eh, *q);
+            eh = fold64(eh, e.bytes);
+            eh = fold64(eh, e.wire_ns);
+            eh = fold64(eh, u64::from(e.attempt));
+            eh = fold64(eh, StableHasher::fingerprint(&e.payload));
+            inflight ^= eh;
+        }
+        fold64(h, inflight)
     }
 
     /// True when no reliable transmission is awaiting an ack.
@@ -316,7 +398,14 @@ impl<P: Clone> Fabric<P> {
             exhausted,
         };
         let mut arrival = tx_done + wire_ns;
-        if let Some(f) = self.cfg.faults.as_ref().filter(|_| !exhausted) {
+        if let Some(oracle) = self.oracle.as_mut().filter(|_| !exhausted) {
+            // Model-checked runs: the oracle decides, the dice stay unrolled.
+            let d = oracle(from, to, seq, attempt);
+            out.dropped = d.drop;
+            out.duplicated = d.dup;
+            out.reordered = d.reorder_ns > 0;
+            arrival += d.reorder_ns;
+        } else if let Some(f) = self.cfg.faults.as_ref().filter(|_| !exhausted) {
             let id = (from as u64, to as u64, seq, u64::from(attempt));
             let r = |lane| roll(f.seed, lane, id.0, id.1, id.2, id.3);
             out.dropped = hit(r(LANE_DROP), f.drop_ppm);
@@ -553,6 +642,53 @@ mod tests {
         let b = f.on_frame(fr[1].0, 0, 1, 0, 64, 5);
         assert_eq!(a.deliver.len(), 1);
         assert!(b.duplicate && b.deliver.is_empty());
+    }
+
+    #[test]
+    fn fault_oracle_replaces_the_dice() {
+        let mut f: Fabric<u32> = Fabric::new(reliable_quiet(), 2);
+        f.set_fault_oracle(Box::new(|_, _, seq, attempt| match (seq, attempt) {
+            (0, 0) => FaultDecision {
+                drop: true,
+                ..FaultDecision::default()
+            },
+            (1, 0) => FaultDecision {
+                dup: true,
+                ..FaultDecision::default()
+            },
+            (2, 0) => FaultDecision {
+                reorder_ns: 500,
+                ..FaultDecision::default()
+            },
+            _ => FaultDecision::default(),
+        }));
+        let a = f.on_send(0, 0, 1, 64, 1_000, 1);
+        assert!(a.dropped && frames(&a).is_empty());
+        assert_eq!(timers(&a).len(), 1, "retransmission recovers the drop");
+        let b = f.on_send(0, 0, 1, 64, 1_000, 2);
+        assert!(b.duplicated);
+        assert_eq!(frames(&b).len(), 2);
+        let c = f.on_send(0, 0, 1, 64, 1_000, 3);
+        assert!(c.reordered);
+        assert_eq!(frames(&c), vec![(1_500, 2, 0)]);
+        // The retransmission of the dropped frame consults the oracle again
+        // (attempt 1, decided clean above).
+        let r = f.on_timer(2_000_000, 0, 1, 0, 0).unwrap();
+        assert!(!r.dropped);
+        assert_eq!(frames(&r), vec![(2_001_000, 0, 1)]);
+    }
+
+    #[test]
+    fn mc_hash_tracks_transport_state() {
+        let mut a: Fabric<u32> = Fabric::new(reliable_quiet(), 2);
+        let mut b: Fabric<u32> = Fabric::new(reliable_quiet(), 2);
+        assert_eq!(a.mc_hash(), b.mc_hash());
+        a.on_send(0, 0, 1, 64, 1_000, 7);
+        assert_ne!(a.mc_hash(), b.mc_hash(), "inflight entry changes the hash");
+        b.on_send(0, 0, 1, 64, 1_000, 7);
+        assert_eq!(a.mc_hash(), b.mc_hash(), "same state, same hash");
+        a.on_ack(0, 1, 0);
+        assert_ne!(a.mc_hash(), b.mc_hash(), "retiring the entry changes it");
     }
 
     #[test]

@@ -1,0 +1,37 @@
+use dsm_mc::program;
+use dsm_mc::{explore, McConfig};
+use dsm_proto::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let proto: Protocol = args
+        .get(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(Protocol::Sc);
+    let which = args.get(2).map(|s| s.as_str()).unwrap_or("msg");
+    let budget: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let reduce = args.get(4).map(|s| s.as_str() != "raw").unwrap_or(true);
+    let prog = match which {
+        "msg" => program::msg_pass(),
+        "lock" => program::lock_counter(2, 1),
+        "lock2" => program::lock_counter(2, 2),
+        "ping" => program::ping_rounds(2, 1),
+        "pp" => program::lock_pingpong(2),
+        _ => panic!("unknown program"),
+    };
+    let mut cfg = McConfig::new(proto).with_faults(budget);
+    cfg.reduce = reduce;
+    cfg.dedup = args.get(5).map(|s| s.as_str() != "nodedup").unwrap_or(true);
+    cfg.max_schedules = 200_000;
+    let t0 = std::time::Instant::now();
+    let rep = explore(&cfg, &prog);
+    println!(
+        "proto={:?} prog={} budget={} reduce={} | schedules={} sleep={} dedup={} steps={} skipped={} states={} cps={} depth={} complete={} ratio={:.2} viol={:?} in {:?}",
+        proto, which, budget, reduce, rep.schedules, rep.pruned_sleep, rep.pruned_dedup,
+        rep.pruned_steps, rep.branches_skipped, rep.states, rep.choice_points, rep.max_depth,
+        rep.complete, rep.reduction_ratio(), rep.violation_counts, t0.elapsed()
+    );
+    for v in rep.violations.iter().take(3) {
+        println!("  {v}");
+    }
+}

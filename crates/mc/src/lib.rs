@@ -1,0 +1,38 @@
+//! `dsm-mc`: exhaustive schedule-space model checking for the DSM
+//! protocols.
+//!
+//! The simulation engine is deterministic, so the only sources of
+//! nondeterminism in a run are (a) which of several events tied at the same
+//! virtual time commits first and (b) what the fabric does to each
+//! transmitted frame. This crate turns both into explicit search: a
+//! controlled scheduler ([`dsm_sim::McHook`]) makes every commit-point tie
+//! a branch, and a fault oracle ([`dsm_fabric::FaultOracle`]) makes every
+//! transmission a clean/drop/duplicate/reorder branch bounded by a fault
+//! budget. Depth-first replay-based search with sleep-set DPOR and
+//! state-fingerprint dedup then explores *every* inequivalent schedule of a
+//! bounded configuration (2–4 nodes, 1–2 coherence blocks, short
+//! data-race-free programs) — for SC, SW-LRC, HLRC and Tardis alike.
+//!
+//! Each completed schedule is validated three ways:
+//!
+//! 1. the `dsm-check` mirror invariants + happens-before race detector,
+//!    installed through the ordinary run harness;
+//! 2. literal consistency-model oracles re-deriving legal read values from
+//!    the trace alone ([`oracle::witness_check`] for SC/Tardis,
+//!    [`oracle::hb_check`] for the LRC protocols);
+//! 3. deadlock (engine queue empty with blocked nodes) and livelock
+//!    (commit-point bound) detection.
+//!
+//! Entry point: [`explore`] over a [`program::MicroProgram`]. See
+//! `DESIGN.md` § Model checking for the branch-point and soundness
+//! discussion, and `tests/mc_*.rs` at the workspace root for the
+//! schedule-count golden test and the exhaustive mutation kill matrix.
+
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod program;
+
+mod driver;
+
+pub use driver::{explore, McConfig, McReport, RULE_DEADLOCK, RULE_LIVELOCK};

@@ -9,7 +9,7 @@
 use crate::layout::Layout;
 
 /// All nodes' local copies of the shared address space.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct DataStore {
     layout: Layout,
     /// Node-major flat storage: node `n`'s copy is

@@ -9,7 +9,7 @@
 use crate::layout::BlockId;
 
 /// Result of consulting the home directory from a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HomeLookup {
     /// The asking node already had the home cached — no messages needed.
     Cached(usize),
@@ -30,7 +30,7 @@ pub enum HomeLookup {
 }
 
 /// First-touch home directory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct HomeDirectory {
     n_nodes: usize,
     /// Claimed home per block; `None` until first touch.

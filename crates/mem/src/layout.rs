@@ -14,7 +14,7 @@ pub type BlockId = usize;
 pub const GRANULARITIES: [usize; 4] = [64, 256, 1024, 4096];
 
 /// One contiguous span of the shared space with a single block size.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Region {
     name: String,
     /// First byte of the region.
@@ -70,7 +70,7 @@ impl Region {
 }
 
 /// Shared address space layout: total size plus its region table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layout {
     size: usize,
     regions: Vec<Region>,

@@ -7,7 +7,7 @@ use crate::layout::BlockId;
 /// Mirrors the hardware access-control lattice: `Invalid` blocks fault on
 /// any access, `Read` blocks fault on stores, `ReadWrite` blocks never
 /// fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Access {
     /// No valid local copy; loads and stores fault.
@@ -36,7 +36,7 @@ impl Access {
 ///
 /// One byte per entry; for a 4 MB space at 64-byte blocks and 16 nodes this
 /// is 1 MB — the simulated analogue of the Typhoon-0 SRAM tag store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct AccessTable {
     n_blocks: usize,
     states: Vec<u8>,

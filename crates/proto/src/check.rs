@@ -20,7 +20,7 @@ use crate::msg::Notice;
 use crate::vt::VClock;
 
 /// One invariant violation found by a checker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Violation {
     /// Stable rule identifier (e.g. `"hb-race"`, `"lrc-notice-set"`).
     pub rule: &'static str,
@@ -32,6 +32,16 @@ pub struct Violation {
     pub time: Time,
     /// Human-readable description with rule-specific fields.
     pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] node {}", self.rule, self.node)?;
+        if let Some(b) = self.block {
+            write!(f, " block {b}")?;
+        }
+        write!(f, " t={}ns: {}", self.time, self.detail)
+    }
 }
 
 /// Observer interface the protocol engine drives when a checker is
@@ -216,6 +226,14 @@ pub trait Checker: Send {
     fn finalize(&mut self, now: Time) -> Vec<Violation> {
         let _ = now;
         Vec::new()
+    }
+
+    /// Stable digest of the checker's internal state, folded into the
+    /// model checker's state fingerprint so a pruned prefix can never
+    /// hide a violation the checker would have reported later. Checkers
+    /// that do not participate in model checking may keep the default.
+    fn mc_fingerprint(&self) -> u64 {
+        0
     }
 }
 

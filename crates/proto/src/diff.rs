@@ -6,7 +6,7 @@
 //! block's home and applied there.
 
 /// One run of modified bytes within a block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DiffRun {
     /// Byte offset within the block.
     pub offset: usize,
@@ -15,7 +15,7 @@ pub struct DiffRun {
 }
 
 /// A diff: the set of modified runs of one block.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
 pub struct Diff {
     /// Modified runs, ascending by offset, non-overlapping, non-adjacent.
     pub runs: Vec<DiffRun>,

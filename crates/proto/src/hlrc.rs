@@ -17,7 +17,7 @@ use crate::msg::{FaultKind, Notice, Packet, ProtoMsg};
 use crate::world::ProtoWorld;
 
 /// A fetch queued at the home until the required diffs arrive.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 struct Waiter {
     from: NodeId,
     kind: FaultKind,
@@ -29,7 +29,7 @@ struct Waiter {
 /// All tables are dense `Vec`s indexed by small integer keys (block ids,
 /// node ids) — the former tuple-keyed `HashMap`s put a hash+probe on every
 /// fault and every diff arrival, which dominated the home-side hot path.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct HlState {
     nodes: usize,
     n_blocks: usize,

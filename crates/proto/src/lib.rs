@@ -36,7 +36,7 @@ pub use check::{Checker, Violation};
 pub use config::{ProtoConfig, Protocol};
 pub use diff::Diff;
 pub use msg::{Envelope, FaultKind, Notice, Packet, ProtoMsg};
-pub use mutate::{MutRt, Mutation};
+pub use mutate::{MutFabric, MutRt, Mutation, MutationSpec, MUTATIONS};
 pub use ops::Attempt;
 pub use vt::VClock;
 pub use world::{final_image, ProtoWorld};

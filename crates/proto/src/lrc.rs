@@ -19,7 +19,7 @@ use crate::{hlrc, swlrc};
 /// grant or barrier release computes exactly the interval set
 /// `have[j] < k <= upto[j]` where `upto` is the releaser's vector time, so
 /// every read is backed by information the releaser legitimately has.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 pub struct NoticeLog {
     per_node: Vec<Vec<Vec<Notice>>>,
 }

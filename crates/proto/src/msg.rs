@@ -13,7 +13,7 @@ use crate::vt::VClock;
 /// doubles as the new-owner hint. For HLRC, `version` is the writer's
 /// interval index and the fetch must wait until the home has applied that
 /// interval's diff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Notice {
     /// Block the notice covers.
     pub block: BlockId,
@@ -25,7 +25,7 @@ pub struct Notice {
 
 /// Fault kind, used in requests that behave differently for loads and
 /// stores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Load fault.
     Read,
@@ -40,7 +40,7 @@ pub enum FaultKind {
 /// `block` the coherence block, `vt` a vector timestamp, `home`/`owner` a
 /// node id the receiver should cache, and `hops` a forwarding count.
 #[allow(missing_docs)]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub enum ProtoMsg {
     // ---- SC (Stache-style directory) ----
     /// Requester -> home: read miss.
@@ -209,7 +209,7 @@ pub enum ProtoMsg {
 }
 
 /// Envelope adding one-shot service-time deferral (polling/interrupt model).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct Envelope {
     /// The payload.
     pub msg: ProtoMsg,
@@ -252,7 +252,7 @@ impl Envelope {
 /// application-level envelope (the ideal fabric's only traffic, and what
 /// the fabric's receive path releases after reassembly) or a fabric
 /// transport packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub enum Packet {
     /// Protocol payload, dispatched to the protocol handlers.
     App(Envelope),
@@ -378,6 +378,44 @@ impl ProtoMsg {
             }
             ProtoMsg::BarArrive { .. } | ProtoMsg::BarRelease { .. } => dsm_obs::SpanClass::Barrier,
             _ => dsm_obs::SpanClass::Fetch,
+        }
+    }
+
+    /// Resource labels for DPOR independence: the protocol objects this
+    /// message's handler can touch besides its delivery target's local
+    /// state. Two deliveries commute when their targets differ and their
+    /// resource sets are disjoint. Block messages touch the block's global
+    /// directory/owner state; lock and barrier messages touch the named
+    /// synchronization object, and grants/releases that carry write notices
+    /// additionally touch each noticed block (applying a notice updates
+    /// per-block protocol hints at the acquirer).
+    pub fn mc_resources(&self, out: &mut Vec<u64>) {
+        const BLOCK: u64 = 1 << 32;
+        const LOCK: u64 = 2 << 32;
+        const BARRIER: u64 = 3 << 32;
+        if let Some(b) = self.concerns_block() {
+            out.push(BLOCK | b as u64);
+        }
+        match self {
+            ProtoMsg::LockReq { lock, .. } | ProtoMsg::LockRel { lock, .. } => {
+                out.push(LOCK | *lock as u64)
+            }
+            ProtoMsg::LockGrant { lock, notices, .. } => {
+                out.push(LOCK | *lock as u64);
+                for n in notices {
+                    out.push(BLOCK | n.block as u64);
+                }
+            }
+            ProtoMsg::BarArrive { barrier, .. } => out.push(BARRIER | *barrier as u64),
+            ProtoMsg::BarRelease {
+                barrier, notices, ..
+            } => {
+                out.push(BARRIER | *barrier as u64);
+                for n in notices {
+                    out.push(BLOCK | n.block as u64);
+                }
+            }
+            _ => {}
         }
     }
 

@@ -23,8 +23,10 @@
 
 use dsm_sim::rng::roll;
 
+use crate::config::Protocol;
+
 /// The catalogue of protocol mutations the checker must catch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mutation {
     /// Drop one write notice from a lock grant (SW-LRC/HLRC).
     DropWriteNotice,
@@ -100,11 +102,134 @@ impl Mutation {
     fn lane(self) -> u64 {
         Mutation::ALL.iter().position(|&m| m == self).unwrap() as u64
     }
+
+    /// Smallest seed whose target occurrence is 0, i.e. the mutation
+    /// strikes the *first* eligible site call. The model checker uses this
+    /// so a planted bug fires on every explored schedule — an exhaustive
+    /// kill needs no seed search, only schedule search.
+    pub fn first_occurrence_seed(self) -> u64 {
+        (0u64..)
+            .find(|&seed| roll(seed, self.lane(), 0, 0, 0, 0).is_multiple_of(3))
+            .unwrap()
+    }
 }
+
+/// Fabric environment a mutation needs to be observable: the two fabric
+/// report mutations corrupt a *verdict*, so genuine duplicates / held
+/// out-of-order frames must exist for the lie to contradict anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutFabric {
+    /// Ideal fabric (no faults) suffices.
+    Ideal,
+    /// Needs a heavily duplicating reliable fabric.
+    Dup,
+    /// Needs a heavily reordering reliable fabric.
+    Reorder,
+}
+
+/// One row of the mutation kill matrix: the mutation, the checker rule
+/// expected to catch it, the protocol under which its injection site is
+/// exercised, the fabric environment it needs, and where the site lives.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationSpec {
+    /// The planted mutation.
+    pub mutation: Mutation,
+    /// Checker rule identifier that must appear among the violations.
+    pub rule: &'static str,
+    /// Protocol whose runs exercise the injection site.
+    pub protocol: Protocol,
+    /// Fabric environment required for the mutation to be observable.
+    pub fabric: MutFabric,
+    /// Injection site, `file: function`.
+    pub site: &'static str,
+}
+
+/// The full kill matrix, one row per [`Mutation::ALL`] entry (asserted by
+/// a test below). Shared by the seeded kill-matrix test and the model
+/// checker's exhaustive-kill test so the two can never drift apart.
+pub const MUTATIONS: [MutationSpec; 11] = [
+    MutationSpec {
+        mutation: Mutation::DropWriteNotice,
+        rule: "lrc-notice-completeness",
+        protocol: Protocol::Hlrc,
+        fabric: MutFabric::Ideal,
+        site: "sync.rs: send_grant",
+    },
+    MutationSpec {
+        mutation: Mutation::SkipDiffWord,
+        rule: "hlrc-diff-coverage",
+        protocol: Protocol::Hlrc,
+        fabric: MutFabric::Ideal,
+        site: "hlrc.rs: encode_diff",
+    },
+    MutationSpec {
+        mutation: Mutation::LockStaleVt,
+        rule: "lrc-lock-stale-vt",
+        protocol: Protocol::Hlrc,
+        fabric: MutFabric::Ideal,
+        site: "sync.rs: handle_lock_rel",
+    },
+    MutationSpec {
+        mutation: Mutation::SwStaleVersion,
+        rule: "sw-stale-version",
+        protocol: Protocol::SwLrc,
+        fabric: MutFabric::Ideal,
+        site: "swlrc.rs: release_dirty",
+    },
+    MutationSpec {
+        mutation: Mutation::ScKeepReader,
+        rule: "sc-exclusive-with-readers",
+        protocol: Protocol::Sc,
+        fabric: MutFabric::Ideal,
+        site: "sc.rs: write-miss invalidation fan-out",
+    },
+    MutationSpec {
+        mutation: Mutation::FabricDupDeliver,
+        rule: "fabric-exactly-once",
+        protocol: Protocol::Sc,
+        fabric: MutFabric::Dup,
+        site: "world.rs: fabric frame receive report",
+    },
+    MutationSpec {
+        mutation: Mutation::FabricReorder,
+        rule: "fabric-in-order",
+        protocol: Protocol::Sc,
+        fabric: MutFabric::Reorder,
+        site: "world.rs: fabric frame receive report",
+    },
+    MutationSpec {
+        mutation: Mutation::HbSkipBarrier,
+        rule: "hb-race",
+        protocol: Protocol::Sc,
+        fabric: MutFabric::Ideal,
+        site: "sync.rs: handle_bar_release (sticky, node 0)",
+    },
+    MutationSpec {
+        mutation: Mutation::TdLeaseOverrun,
+        rule: "td-lease-overrun",
+        protocol: Protocol::Tardis,
+        fabric: MutFabric::Ideal,
+        site: "tardis.rs: lease-expiry check",
+    },
+    MutationSpec {
+        mutation: Mutation::TdWtsStall,
+        rule: "td-wts-monotone",
+        protocol: Protocol::Tardis,
+        fabric: MutFabric::Ideal,
+        site: "tardis.rs: exclusive grant wts mint",
+    },
+    MutationSpec {
+        mutation: Mutation::TdWtsUnderLease,
+        rule: "td-write-under-lease",
+        protocol: Protocol::Tardis,
+        fabric: MutFabric::Ideal,
+        site: "tardis.rs: exclusive grant wts mint",
+    },
+];
 
 /// Per-run mutation state: which mutation is armed, which eligible site
 /// occurrence it strikes, and whether it has struck yet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct MutRt {
     which: Mutation,
     /// Eligible-occurrence index that fires (0-based).
@@ -168,6 +293,21 @@ impl MutRt {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_covers_every_mutation_once() {
+        for (i, m) in Mutation::ALL.into_iter().enumerate() {
+            assert_eq!(MUTATIONS[i].mutation, m, "registry order matches ALL");
+        }
+    }
+
+    #[test]
+    fn first_occurrence_seed_targets_occurrence_zero() {
+        for m in Mutation::ALL {
+            let rt = MutRt::new(m, m.first_occurrence_seed());
+            assert_eq!(rt.target, 0, "{}", m.name());
+        }
+    }
 
     #[test]
     fn names_round_trip() {

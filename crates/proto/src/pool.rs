@@ -43,7 +43,7 @@ impl BufPool {
 /// lookup into an index. The table also maintains the total held bytes
 /// incrementally, so the `twin_bytes_peak` statistic no longer costs a
 /// full-map sum per twin creation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 pub struct TwinTable {
     /// `slots[b]` is the twin of block `b`; an empty vec means no twin
     /// (a real twin is never empty — blocks have nonzero size).

@@ -17,7 +17,7 @@ use crate::msg::{FaultKind, Packet, ProtoMsg};
 use crate::world::{grant_access, ProtoWorld};
 
 /// One directory entry, conceptually located at the block's home.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Hash)]
 pub struct DirEntry {
     /// Exclusive owner, if the block is in the modified state somewhere.
     pub owner: Option<NodeId>,
@@ -31,7 +31,7 @@ pub struct DirEntry {
 }
 
 /// An in-flight directory transaction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct Pending {
     /// The node being served.
     pub requester: NodeId,
@@ -42,7 +42,7 @@ pub struct Pending {
 }
 
 /// SC protocol state: the (logically distributed) directory.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct ScState {
     dir: Vec<DirEntry>,
 }

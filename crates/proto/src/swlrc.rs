@@ -23,7 +23,7 @@ const MAX_HOPS: u32 = 100_000;
 type QueuedReq = (NodeId, FaultKind, u32);
 
 /// SW-LRC protocol state.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct SwState {
     n_blocks: usize,
     /// Current owner per block (`Some` only when settled at a node).

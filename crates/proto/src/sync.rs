@@ -22,7 +22,7 @@ use crate::vt::VClock;
 use crate::world::ProtoWorld;
 
 /// State of one lock at its manager.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 pub struct LockState {
     /// Currently held.
     pub held: bool,
@@ -37,7 +37,7 @@ pub struct LockState {
 }
 
 /// State of one barrier at its manager.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Hash)]
 pub struct BarrierState {
     /// Nodes that have arrived this episode, with their vector times and
     /// program timestamps.

@@ -37,7 +37,7 @@ use crate::vt::{lease_grant, wts_grant};
 use crate::world::ProtoWorld;
 
 /// A fault parked at the home while the block is busy or owned.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct TdWaiter {
     /// The faulting node.
     pub from: NodeId,
@@ -53,7 +53,7 @@ pub struct TdWaiter {
 /// Tardis state: per-block home-side timestamp tables plus per-node
 /// program timestamps and per-copy lease tables. Homes are static (the
 /// directory node); Tardis blocks never migrate and never twin.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct TdState {
     /// Number of blocks (row stride of the per-copy tables).
     pub n_blocks: usize,

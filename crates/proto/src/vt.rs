@@ -34,7 +34,7 @@ pub fn wts_grant(wts: u64, rts: u64) -> u64 {
 /// happen-before the owner's current logical time. Intervals are delimited
 /// by release operations (lock releases and barrier arrivals), per Keleher's
 /// LRC formulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VClock(Vec<u32>);
 
 impl VClock {

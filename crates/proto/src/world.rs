@@ -24,7 +24,7 @@ use crate::vt::VClock;
 use crate::{hlrc, sc, swlrc, sync, tardis};
 
 /// Per-node protocol runtime state.
-#[derive(Debug)]
+#[derive(Debug, Hash)]
 pub struct NodeRt {
     /// Vector timestamp (LRC protocols).
     pub vt: VClock,
@@ -249,6 +249,47 @@ impl ProtoWorld {
             let r = self.cfg.layout.block_range(b);
             p.note(me, r.start, r.end, write);
         }
+    }
+
+    /// Stable fingerprint of everything that determines future protocol
+    /// behavior, for model-checker state deduplication. Two worlds with
+    /// equal fingerprints (at the same engine state) explore identical
+    /// subtrees, so one can be pruned.
+    ///
+    /// Deliberately excluded: statistics, the observability recorder, the
+    /// sharing profile, the buffer pool, and `measure_start` — none of
+    /// them feed back into protocol decisions. The checker digest IS
+    /// included so a pruned prefix cannot hide a later violation.
+    pub fn mc_fingerprint(&self) -> u64 {
+        use dsm_sim::rng::{fold64, StableHasher};
+        let mut h = StableHasher::fingerprint(&(
+            &self.data,
+            &self.access,
+            &self.homes,
+            &self.nodes,
+            &self.sc,
+            &self.sw,
+            &self.hl,
+            &self.td,
+            &self.locks,
+            &self.log,
+        ));
+        // Barriers live in a HashMap; XOR-fold entries so iteration order
+        // cannot leak into the fingerprint.
+        let mut bars = 0u64;
+        for (id, st) in &self.barriers {
+            bars ^= StableHasher::fingerprint(&(id, st));
+        }
+        h = fold64(h, bars);
+        h = fold64(h, self.fabric.mc_hash());
+        h = fold64(h, self.quiesce);
+        if let Some(m) = &self.mutate {
+            h = fold64(h, StableHasher::fingerprint(m));
+        }
+        if let Some(c) = &self.check {
+            h = fold64(h, c.mc_fingerprint());
+        }
+        h
     }
 
     /// Ensure lock `l` exists.

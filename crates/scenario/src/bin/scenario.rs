@@ -106,6 +106,11 @@ fn main() -> ExitCode {
             failed,
             violations
         );
+        for r in out.reps.iter().filter(|r| !r.violation_details.is_empty()) {
+            for d in &r.violation_details {
+                eprintln!("  rep {} seed {:#x}: {d}", r.rep, r.seed);
+            }
+        }
         all_ok &= out.ok();
         output.push_str(&out.jsonl());
     }

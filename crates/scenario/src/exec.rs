@@ -38,6 +38,10 @@ pub struct RepOutcome {
     /// Checker violation count (races + protocol invariants; zero with the
     /// checker off or on a clean run).
     pub violations: usize,
+    /// The first few violations, preformatted via `Violation`'s `Display`
+    /// (`[rule] node N block B t=..ns: detail`), for human-readable
+    /// diagnostics without re-running.
+    pub violation_details: Vec<String>,
 }
 
 impl RepOutcome {
@@ -113,6 +117,7 @@ fn run_rep(spec: &ScenarioSpec, rep: usize) -> Result<RepOutcome, String> {
         stats: r.stats,
         check_err: r.check.err(),
         violations: r.violations.len(),
+        violation_details: r.violations.iter().take(8).map(|v| v.to_string()).collect(),
     })
 }
 
@@ -211,6 +216,17 @@ impl ScenarioOutcome {
             v.set("check_err", e.as_str());
         }
         v.set("violations", r.violations);
+        if !r.violation_details.is_empty() {
+            v.set(
+                "violation_details",
+                Value::Arr(
+                    r.violation_details
+                        .iter()
+                        .map(|d| Value::from(d.as_str()))
+                        .collect(),
+                ),
+            );
+        }
         v.set("sequential_time_ns", r.stats.sequential_time_ns);
         // Same metric names as the aggregate record, but counters stay
         // integers here; only the cross-rep statistics are floats.

@@ -20,8 +20,81 @@
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::queue::SplitQueue;
+use crate::rng::fold64;
 use crate::time::Time;
 use crate::NodeId;
+
+/// Panic payload used when a model-checker hook abandons an execution
+/// mid-run ([`McHook::choose`] returned `None`). The exploration driver
+/// catches this with `catch_unwind` and treats the run as pruned, not
+/// failed.
+pub const MC_PRUNE: &str = "dsm-mc: schedule pruned";
+
+/// One co-enabled event offered to a model-checker hook at a commit point.
+pub struct McChoice<'a, M> {
+    /// Stable event identity: the global queue sequence number assigned at
+    /// push time. Identical across replays of the same decision prefix
+    /// (the engine is deterministic), so hooks can use it to recognize an
+    /// event across sibling executions.
+    pub key: u64,
+    /// The event itself.
+    pub event: McEvent<'a, M>,
+}
+
+/// The two kinds of schedulable event, as seen by a model-checker hook.
+pub enum McEvent<'a, M> {
+    /// A node resumes from its compute segment or a wake.
+    Resume {
+        /// The resuming node.
+        node: NodeId,
+    },
+    /// A message delivery.
+    Msg {
+        /// The destination node.
+        to: NodeId,
+        /// The message (borrowed; it is still queued).
+        msg: &'a M,
+    },
+}
+
+/// A controlled scheduler plugged into the serial engine by
+/// [`run_cluster_mc`]: every commit point where more than zero events are
+/// co-enabled at the head virtual time becomes an explicit choice.
+///
+/// The hook is called at *every* commit point, singletons included, so it
+/// can maintain replay position, sleep sets, and step bounds uniformly.
+/// Returning `None` abandons the execution: the engine poisons itself and
+/// panics with [`MC_PRUNE`], which the exploration driver catches.
+pub trait McHook<W: World>: Send {
+    /// Pick which of `choices` (all tied at virtual time `at`) commits.
+    ///
+    /// `engine_hash` folds the scheduler-visible state (head time, node
+    /// statuses and generations, and the queue multiset including the
+    /// offered choices); combined with a world fingerprint it identifies
+    /// the global state at this commit point.
+    fn choose(
+        &mut self,
+        world: &W,
+        engine_hash: u64,
+        at: Time,
+        choices: &[McChoice<'_, W::Msg>],
+    ) -> Option<usize>;
+}
+
+/// Content hash of a queued message addressed at a node, used to fingerprint
+/// the pending-event multiset in model-checked runs. Must be a pure function
+/// of the message so replays fingerprint identically.
+pub type McMsgHash<M> = Box<dyn Fn(NodeId, &M) -> u64 + Send>;
+
+/// Everything [`run_cluster_mc`] installs on the engine: the controlling
+/// hook plus a content hash for queued messages (feeding the queue-multiset
+/// part of `engine_hash`).
+pub struct McInstall<W: World> {
+    /// The controlled scheduler.
+    pub hook: Box<dyn McHook<W>>,
+    /// Content hash of a queued message addressed at a node.
+    pub msg_hash: McMsgHash<W::Msg>,
+}
 
 /// Execution mode for [`run_cluster_with`]: worker-thread cap plus the
 /// conservative lookahead bound for windowed execution.
@@ -143,9 +216,18 @@ pub struct SchedInner<M> {
     /// (message handler or node segment) runs. Pushes addressed at a
     /// *different* node are cross-node traffic and get staged until the next
     /// window edge; `None` (startup, between units) stages everything.
+    /// Model-checked runs reuse it to assert handler footprints (a handler
+    /// may only wake/delay its own delivery target).
     exec: Option<NodeId>,
     /// True when running under the windowed (PDES) committer.
     windowed: bool,
+    /// Model-checked runs only: content hash for queued messages. Doubles as
+    /// the "mc mode" flag on the scheduler side.
+    mc_msg_hash: Option<McMsgHash<M>>,
+    /// Model-checked runs only: XOR of [`SchedInner::mc_event_hash`] over
+    /// every event currently in the queue — an incremental, order-independent
+    /// fingerprint of the pending-event multiset.
+    queue_hash: u64,
 }
 
 /// Handle given to [`World::deliver`] and [`NodeCtx::world`] closures for
@@ -199,6 +281,8 @@ impl<M> SchedInner<M> {
             events: 0,
             exec: None,
             windowed: false,
+            mc_msg_hash: None,
+            queue_hash: 0,
         }
     }
 
@@ -217,7 +301,24 @@ impl<M> SchedInner<M> {
         self.events
     }
 
+    /// Seq-independent fingerprint of one queued event (model-checked runs):
+    /// replays push the same events in potentially different seq order, so
+    /// the multiset hash must not depend on insertion order.
+    fn mc_event_hash(&self, at: Time, kind: &EventKind<M>) -> u64 {
+        match kind {
+            EventKind::Resume { node, gen } => fold64(fold64(fold64(1, *node as u64), *gen), at),
+            EventKind::Msg { to, msg } => {
+                let h = (self.mc_msg_hash.as_ref().expect("mc msg hasher"))(*to, msg);
+                fold64(fold64(fold64(2, *to as u64), h), at)
+            }
+        }
+    }
+
     fn push(&mut self, at: Time, kind: EventKind<M>) {
+        if self.mc_msg_hash.is_some() {
+            let h = self.mc_event_hash(at, &kind);
+            self.queue_hash ^= h;
+        }
         let target = match &kind {
             EventKind::Msg { to, .. } => *to,
             EventKind::Resume { node, .. } => *node,
@@ -255,6 +356,13 @@ impl<M> SchedInner<M> {
     /// Panics if the node is not blocked: waking a computing or finished node
     /// indicates a protocol bug.
     pub fn wake(&mut self, node: NodeId, at: Time) {
+        // Model-checked runs assert the footprint the DPOR layer relies on:
+        // a message handler only ever wakes its own delivery target.
+        debug_assert!(
+            self.mc_msg_hash.is_none() || self.exec.is_none() || self.exec == Some(node),
+            "mc: handler at {:?} woke node {node}",
+            self.exec
+        );
         let at = at.max(self.now);
         let slot = &mut self.nodes[node];
         match slot.status {
@@ -280,6 +388,11 @@ impl<M> SchedInner<M> {
     /// request). No-op for blocked or finished nodes, or if the node already
     /// resumes later than `until`.
     pub fn delay(&mut self, node: NodeId, until: Time) {
+        debug_assert!(
+            self.mc_msg_hash.is_none() || self.exec.is_none() || self.exec == Some(node),
+            "mc: handler at {:?} delayed node {node}",
+            self.exec
+        );
         let until = until.max(self.now);
         let slot = &mut self.nodes[node];
         if let Status::Ready { at } = slot.status {
@@ -349,6 +462,8 @@ struct SimState<W: World> {
     poisoned: bool,
     /// Windowed-mode driver state (unused in serial mode).
     par: ParDriver,
+    /// Model-checker hook controlling every commit point (serial mode only).
+    mc: Option<Box<dyn McHook<W>>>,
 }
 
 struct Shared<W: World> {
@@ -561,12 +676,31 @@ impl<W: World> NodeCtx<W> {
         if g.sched.done_count == g.sched.nodes.len() {
             // Drain in-flight messages so their effects (stats, traffic) are
             // accounted for even when every node body has returned.
-            while let Some((at, kind)) = g.sched.next_event() {
+            loop {
+                let (at, kind) = match mc_next_event(&mut g) {
+                    McPop::Ev(at, kind) => (at, kind),
+                    McPop::Empty => break,
+                    McPop::Prune => {
+                        g.poisoned = true;
+                        for cv in &self.shared.node_cvs {
+                            cv.notify_all();
+                        }
+                        self.shared.done_cv.notify_all();
+                        panic!("{MC_PRUNE}");
+                    }
+                };
                 if let EventKind::Msg { to, msg } = kind {
                     g.sched.now = at;
+                    let mc_on = g.sched.mc_msg_hash.is_some();
+                    if mc_on {
+                        g.sched.exec = Some(to);
+                    }
                     let mut world = g.world.take().expect("world re-entrancy");
                     world.deliver(&mut g.sched, to, msg);
                     g.world = Some(world);
+                    if mc_on {
+                        g.sched.exec = None;
+                    }
                 }
             }
             self.shared.done_cv.notify_all();
@@ -593,6 +727,103 @@ impl<W: World> NodeCtx<W> {
     }
 }
 
+/// Result of a model-checked pop: an event to execute, queue exhausted, or
+/// "abandon this execution" (the hook pruned the schedule).
+enum McPop<M> {
+    Ev(Time, EventKind<M>),
+    Empty,
+    Prune,
+}
+
+/// Pop the next event, routing the choice through the model-checker hook
+/// when one is installed: gather every event tied at the head virtual time,
+/// drop stale resumes (they are not real choices — the plain pop skips them
+/// identically), and let the hook pick which one commits. Unchosen events
+/// are restored with their original `(time, seq)` keys, so the order among
+/// them is untouched.
+fn mc_next_event<W: World>(st: &mut SimState<W>) -> McPop<W::Msg> {
+    if st.mc.is_none() {
+        return match st.sched.next_event() {
+            Some((at, kind)) => McPop::Ev(at, kind),
+            None => McPop::Empty,
+        };
+    }
+    loop {
+        let Some((head, _)) = st.sched.queue.next_key() else {
+            return McPop::Empty;
+        };
+        let mut tied: Vec<(Time, u64, NodeId, EventKind<W::Msg>)> = Vec::new();
+        while st.sched.queue.next_key().is_some_and(|(t, _)| t == head) {
+            let (at, key, node, kind) = st.sched.queue.pop_keyed().expect("head implies an event");
+            if let EventKind::Resume { node: rn, gen } = &kind {
+                if st.sched.nodes[*rn].gen != *gen {
+                    // Superseded by a later delay/wake: skip it, counting it
+                    // exactly as the plain loop would.
+                    st.sched.events += 1;
+                    let h = st.sched.mc_event_hash(at, &kind);
+                    st.sched.queue_hash ^= h;
+                    continue;
+                }
+            }
+            tied.push((at, key, node, kind));
+        }
+        if tied.is_empty() {
+            continue; // the whole tie was stale; move to the next head time
+        }
+        // Scheduler-visible fingerprint: head time, node slots, and the
+        // pending-event multiset (the tied events above are still counted
+        // in `queue_hash` — they are logically queued until one commits).
+        let mut eh = fold64(0, head);
+        for s in &st.sched.nodes {
+            let (tag, t) = match s.status {
+                Status::Running => (0u64, 0),
+                Status::Ready { at } => (1, at),
+                Status::Blocked => (2, 0),
+                Status::Done => (3, 0),
+            };
+            eh = fold64(eh, tag);
+            eh = fold64(eh, t);
+            eh = fold64(eh, s.gen);
+            eh = fold64(eh, s.pending_wake.map_or(u64::MAX, |w| w));
+        }
+        eh = fold64(eh, st.sched.queue_hash);
+        let choices: Vec<McChoice<'_, W::Msg>> = tied
+            .iter()
+            .map(|&(_, key, _, ref kind)| McChoice {
+                key,
+                event: match kind {
+                    EventKind::Resume { node, .. } => McEvent::Resume { node: *node },
+                    EventKind::Msg { to, msg } => McEvent::Msg { to: *to, msg },
+                },
+            })
+            .collect();
+        let world = st.world.as_ref().expect("world re-entrancy");
+        let pick = st
+            .mc
+            .as_mut()
+            .expect("mc hook")
+            .choose(world, eh, head, &choices);
+        drop(choices);
+        let Some(pick) = pick else {
+            return McPop::Prune;
+        };
+        assert!(pick < tied.len(), "mc hook chose {pick} of {}", tied.len());
+        let mut chosen = None;
+        for (i, (at, key, node, kind)) in tied.into_iter().enumerate() {
+            if i == pick {
+                chosen = Some((at, kind));
+            } else {
+                st.sched.queue.unpop(node, at, key, kind);
+            }
+        }
+        let (at, kind) = chosen.expect("pick is in range");
+        let h = st.sched.mc_event_hash(at, &kind);
+        st.sched.queue_hash ^= h;
+        st.sched.events += 1;
+        return McPop::Ev(at, kind);
+    }
+}
+
 /// Serial event loop: pop and execute events in global `(time, seq)` order
 /// until `me`'s own resume commits (`Some`), or until control is handed to
 /// another node's thread (`None` — the startup kick-off and finishing nodes
@@ -603,9 +834,17 @@ fn drive_serial<W: World>(
     me: Option<NodeId>,
 ) {
     loop {
-        let (at, kind) = match g.sched.next_event() {
-            Some(ev) => ev,
-            None => {
+        let (at, kind) = match mc_next_event(&mut g) {
+            McPop::Ev(at, kind) => (at, kind),
+            McPop::Prune => {
+                g.poisoned = true;
+                for cv in &shared.node_cvs {
+                    cv.notify_all();
+                }
+                shared.done_cv.notify_all();
+                panic!("{MC_PRUNE}");
+            }
+            McPop::Empty => {
                 // Nothing left to do. A driving node is itself blocked or
                 // ready, so an empty queue is a deadlock; a finishing node
                 // (`me == None`) returns cleanly when every other node is
@@ -627,9 +866,16 @@ fn drive_serial<W: World>(
         match kind {
             EventKind::Msg { to, msg } => {
                 g.sched.now = at;
+                let mc_on = g.sched.mc_msg_hash.is_some();
+                if mc_on {
+                    g.sched.exec = Some(to); // footprint assert in wake/delay
+                }
                 let mut world = g.world.take().expect("world re-entrancy");
                 world.deliver(&mut g.sched, to, msg);
                 g.world = Some(world);
+                if mc_on {
+                    g.sched.exec = None;
+                }
             }
             EventKind::Resume { node, gen } => {
                 if g.sched.nodes[node].gen != gen {
@@ -806,12 +1052,43 @@ pub fn run_cluster_with<W: World>(
     bodies: Vec<NodeBody<W>>,
     par: SimPar,
 ) -> (W, Time, u64) {
+    run_cluster_inner(world, bodies, par, None)
+}
+
+/// Run a cluster under a model-checker hook: fully serialized, with every
+/// commit point routed through [`McHook::choose`]. A pruned execution (the
+/// hook returned `None`) panics with [`MC_PRUNE`]; the exploration driver
+/// wraps this call in `catch_unwind`.
+pub fn run_cluster_mc<W: World>(
+    world: W,
+    bodies: Vec<NodeBody<W>>,
+    mc: McInstall<W>,
+) -> (W, Time, u64) {
+    run_cluster_inner(world, bodies, SimPar::serial(), Some(mc))
+}
+
+fn run_cluster_inner<W: World>(
+    world: W,
+    bodies: Vec<NodeBody<W>>,
+    par: SimPar,
+    mc: Option<McInstall<W>>,
+) -> (W, Time, u64) {
     let n = bodies.len();
     assert!(n > 0, "cluster needs at least one node");
-    let threads = par.threads.max(1);
+    // Model checking controls the serial engine only: windowed execution is
+    // an internal-parallelism optimization with identical semantics, so
+    // nothing is lost by forcing threads = 1.
+    let threads = if mc.is_some() { 1 } else { par.threads.max(1) };
     let windowed = threads > 1;
     let mut sched = SchedInner::new(n);
     sched.windowed = windowed;
+    let (hook, msg_hash) = match mc {
+        Some(m) => (Some(m.hook), Some(m.msg_hash)),
+        None => (None, None),
+    };
+    // Install the hasher before the startup pushes so the initial n-way
+    // resume tie is fingerprinted too.
+    sched.mc_msg_hash = msg_hash;
     // Every node starts Ready at t=0; node 0's Resume is pushed first so it
     // runs first (deterministic startup order by node id).
     for node in 0..n {
@@ -830,6 +1107,7 @@ pub fn run_cluster_with<W: World>(
                 spec_slots: threads - 1,
                 seg_done: true,
             },
+            mc: hook,
         }),
         node_cvs: (0..n).map(|_| Condvar::new()).collect(),
         done_cv: Condvar::new(),
@@ -940,10 +1218,28 @@ pub fn run_cluster_with<W: World>(
         drop(g);
     }
 
-    let mut panicked = None;
+    // Re-raise the root-cause panic, not one of the cascade panics other
+    // threads raise when they notice the poisoned state (the model-checking
+    // driver distinguishes MC_PRUNE / deadlock payloads from real failures).
+    fn is_cascade(e: &(dyn std::any::Any + Send)) -> bool {
+        let msg = e
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| e.downcast_ref::<String>().map(|s| s.as_str()));
+        msg.is_some_and(|m| {
+            m.starts_with("simulation aborted") || m.starts_with("simulation poisoned")
+        })
+    }
+    let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
     for h in handles {
         if let Err(e) = h.join() {
-            panicked = Some(e);
+            let keep = match &panicked {
+                None => true,
+                Some(p) => is_cascade(p.as_ref()) && !is_cascade(e.as_ref()),
+            };
+            if keep {
+                panicked = Some(e);
+            }
         }
     }
     if let Some(e) = panicked {
@@ -1383,5 +1679,131 @@ mod tests {
         );
         let tags: Vec<u32> = w.log.iter().map(|&(_, _, m)| m).collect();
         assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    /// Test hook: delegates every choice to a closure over
+    /// `(number of choices, engine hash)`.
+    struct PickHook<F: FnMut(usize, u64) -> Option<usize> + Send>(F);
+    impl<W: World, F: FnMut(usize, u64) -> Option<usize> + Send> McHook<W> for PickHook<F> {
+        fn choose(
+            &mut self,
+            _world: &W,
+            engine_hash: u64,
+            _at: Time,
+            choices: &[McChoice<'_, W::Msg>],
+        ) -> Option<usize> {
+            (self.0)(choices.len(), engine_hash)
+        }
+    }
+
+    fn tie_bodies() -> Vec<NodeBody<TestWorld>> {
+        vec![
+            Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                ctx.world(|_, s| {
+                    s.post(1, 100, 1);
+                    s.post(1, 100, 2);
+                    s.post(1, 100, 3);
+                });
+                ctx.advance(1);
+            }),
+            Box::new(|ctx: &mut NodeCtx<TestWorld>| {
+                ctx.advance(200);
+            }),
+        ]
+    }
+
+    #[test]
+    fn mc_hook_reverses_tie_order() {
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None, None],
+        };
+        let (w, _, _) = run_cluster_mc(
+            world,
+            tie_bodies(),
+            McInstall {
+                hook: Box::new(PickHook(|n: usize, _| Some(n - 1))),
+                msg_hash: Box::new(|_, m: &u32| u64::from(*m)),
+            },
+        );
+        let tags: Vec<u32> = w.log.iter().map(|&(_, _, m)| m).collect();
+        assert_eq!(tags, vec![3, 2, 1], "picking last reverses the tie");
+    }
+
+    #[test]
+    fn mc_first_choice_matches_serial_and_hashes_replay() {
+        fn mc_run() -> (Vec<(Time, NodeId, u32)>, Vec<u64>, u64) {
+            let hashes = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&hashes);
+            let world = TestWorld {
+                log: vec![],
+                wake_on: vec![None, None],
+            };
+            let (w, _, ev) = run_cluster_mc(
+                world,
+                tie_bodies(),
+                McInstall {
+                    hook: Box::new(PickHook(move |_, eh| {
+                        sink.lock().unwrap().push(eh);
+                        Some(0)
+                    })),
+                    msg_hash: Box::new(|to, m: &u32| fold64(u64::from(*m), to as u64)),
+                },
+            );
+            let hs = hashes.lock().unwrap().clone();
+            (w.log, hs, ev)
+        }
+        let serial = run_cluster(
+            TestWorld {
+                log: vec![],
+                wake_on: vec![None, None],
+            },
+            tie_bodies(),
+        )
+        .0
+        .log;
+        let (log_a, hashes_a, ev_a) = mc_run();
+        let (log_b, hashes_b, ev_b) = mc_run();
+        assert_eq!(log_a, serial, "always-first replays the serial schedule");
+        assert_eq!(log_a, log_b);
+        assert_eq!(ev_a, ev_b);
+        assert!(!hashes_a.is_empty());
+        assert_eq!(hashes_a, hashes_b, "engine hashes are replay-stable");
+    }
+
+    #[test]
+    fn mc_prune_panics_with_sentinel() {
+        let world = TestWorld {
+            log: vec![],
+            wake_on: vec![None, None],
+        };
+        let mut steps = 0u32;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cluster_mc(
+                world,
+                tie_bodies(),
+                McInstall {
+                    hook: Box::new(PickHook(move |_, _| {
+                        steps += 1;
+                        if steps > 2 {
+                            None
+                        } else {
+                            Some(0)
+                        }
+                    })),
+                    msg_hash: Box::new(|_, m: &u32| u64::from(*m)),
+                },
+            )
+        }));
+        let e = match r {
+            Ok(_) => panic!("pruned run must panic"),
+            Err(e) => e,
+        };
+        let msg = e
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| e.downcast_ref::<String>().map(|s| s.as_str()))
+            .unwrap_or("");
+        assert_eq!(msg, MC_PRUNE);
     }
 }

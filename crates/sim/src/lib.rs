@@ -35,7 +35,8 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{
-    run_cluster, run_cluster_counted, run_cluster_with, NodeCtx, Sched, SimPar, World,
+    run_cluster, run_cluster_counted, run_cluster_mc, run_cluster_with, McChoice, McEvent, McHook,
+    McInstall, NodeCtx, Sched, SimPar, World, MC_PRUNE,
 };
 pub use time::{Time, MICROS, MILLIS, SECS};
 

@@ -380,6 +380,13 @@ impl<V> SplitQueue<V> {
     /// Remove and return the globally earliest `(time, node, value)` in
     /// ascending `(time, seq)` order — bit-identical to a single queue.
     pub fn pop(&mut self) -> Option<(Time, NodeId, V)> {
+        self.pop_keyed().map(|(at, _, node, v)| (at, node, v))
+    }
+
+    /// [`SplitQueue::pop`] including the global tie-break sequence number.
+    /// The key is stable event identity: an event popped and re-inserted
+    /// with [`SplitQueue::unpop`] keeps its `(time, seq)` position.
+    pub fn pop_keyed(&mut self) -> Option<(Time, u64, NodeId, V)> {
         let mut best = self.cross_head;
         let mut who = usize::MAX; // MAX = the cross wheel
         for (i, &h) in self.heads.iter().enumerate() {
@@ -393,13 +400,28 @@ impl<V> SplitQueue<V> {
         }
         self.len -= 1;
         if who == usize::MAX {
-            let (at, _, (node, v)) = self.cross.pop_entry().expect("cached cross head");
+            let (at, seq, (node, v)) = self.cross.pop_entry().expect("cached cross head");
             self.cross_head = self.cross.peek_key().unwrap_or(EMPTY_KEY);
-            Some((at, node, v))
+            Some((at, seq, node, v))
         } else {
-            let (at, _, v) = self.wheels[who].pop_entry().expect("cached wheel head");
+            let (at, seq, v) = self.wheels[who].pop_entry().expect("cached wheel head");
             self.heads[who] = self.wheels[who].peek_key().unwrap_or(EMPTY_KEY);
-            Some((at, who, v))
+            Some((at, seq, who, v))
+        }
+    }
+
+    /// Re-insert an event removed by [`SplitQueue::pop_keyed`] under its
+    /// original key, restoring it to exactly its former global position.
+    /// The model checker pops every event tied at the head time to expose
+    /// the choice, then returns the unchosen ones. Serial mode only (the
+    /// event goes to its node wheel, never the cross stage), and `at` must
+    /// equal the just-popped head time (the wheels' monotonicity guard
+    /// allows re-insertion *at* the last popped time, not before it).
+    pub fn unpop(&mut self, node: NodeId, at: Time, seq: u64, v: V) {
+        self.len += 1;
+        self.wheels[node].push_with_seq(at, seq, v);
+        if (at, seq) < self.heads[node] {
+            self.heads[node] = (at, seq);
         }
     }
 }
@@ -430,6 +452,26 @@ mod tests {
         for i in 0..10u32 {
             assert_eq!(q.pop(), Some((500, i)));
         }
+    }
+
+    #[test]
+    fn pop_keyed_and_unpop_preserve_global_order() {
+        let mut q: SplitQueue<&str> = SplitQueue::new(2);
+        q.push(0, 100, "a0", false);
+        q.push(1, 100, "b0", false);
+        q.push(0, 200, "later", false);
+        // Pop both events tied at t=100, then put the first one back: it
+        // must come out again at its original position, before the second.
+        let (at_a, seq_a, node_a, v_a) = q.pop_keyed().unwrap();
+        assert_eq!((at_a, node_a, v_a), (100, 0, "a0"));
+        let (at_b, _, node_b, v_b) = q.pop_keyed().unwrap();
+        assert_eq!((at_b, node_b, v_b), (100, 1, "b0"));
+        q.unpop(node_a, at_a, seq_a, v_a);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_key(), Some((100, seq_a)));
+        assert_eq!(q.pop(), Some((100, 0, "a0")));
+        assert_eq!(q.pop(), Some((200, 0, "later")));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

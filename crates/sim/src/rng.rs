@@ -26,6 +26,68 @@ pub fn hit(r: u64, ppm: u32) -> bool {
     r % 1_000_000 < u64::from(ppm)
 }
 
+/// Fold `x` into a running SplitMix64-based fingerprint. Order-sensitive:
+/// `fold64(fold64(a, x), y) != fold64(fold64(a, y), x)` in general, so
+/// sequences hash by structure. Commutative combination (e.g. hashing a
+/// `HashMap`'s entries independent of iteration order) is done by XORing
+/// per-entry fingerprints instead.
+pub fn fold64(acc: u64, x: u64) -> u64 {
+    mix64(acc ^ mix64(x))
+}
+
+/// A stable `std::hash::Hasher` over [`mix64`], for state fingerprints that
+/// must not depend on the standard library's hasher (whose output may change
+/// between Rust releases). Usable with `#[derive(Hash)]` types.
+#[derive(Debug, Clone, Default)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// Fresh hasher with a zero seed.
+    pub fn new() -> Self {
+        StableHasher(0)
+    }
+
+    /// Hash one `Hash` value to a stable fingerprint.
+    pub fn fingerprint<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+        use std::hash::Hasher;
+        let mut h = StableHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl std::hash::Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = fold64(self.0, u64::from_le_bytes(word));
+        }
+        // Fold the length so "ab"+"c" and "a"+"bc" differ.
+        self.0 = fold64(self.0, bytes.len() as u64);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = fold64(self.0, i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.0 = fold64(self.0, i as u64);
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.0 = fold64(self.0, u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.0 = fold64(self.0, u64::from(i));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,6 +111,28 @@ mod tests {
             }
         }
         assert!((9_000..=11_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fold_is_order_sensitive_and_stable() {
+        let a = fold64(fold64(0, 1), 2);
+        assert_eq!(a, fold64(fold64(0, 1), 2));
+        assert_ne!(a, fold64(fold64(0, 2), 1));
+    }
+
+    #[test]
+    fn stable_hasher_distinguishes_structure() {
+        let ab_c = StableHasher::fingerprint(&("ab", "c"));
+        let a_bc = StableHasher::fingerprint(&("a", "bc"));
+        assert_ne!(ab_c, a_bc);
+        assert_eq!(
+            StableHasher::fingerprint(&vec![1u64, 2, 3]),
+            StableHasher::fingerprint(&vec![1u64, 2, 3])
+        );
+        assert_ne!(
+            StableHasher::fingerprint(&vec![1u64, 2, 3]),
+            StableHasher::fingerprint(&vec![1u64, 3, 2])
+        );
     }
 
     #[test]

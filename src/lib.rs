@@ -19,6 +19,8 @@
 //!   the Perfetto/JSONL exporters;
 //! * [`adapt`] — sharing profiler, cost model, and the per-region adaptive
 //!   protocol × granularity policy engine;
+//! * [`mc`] — exhaustive schedule-space model checker (sleep-set DPOR)
+//!   for bounded configurations of all four protocols;
 //! * [`json`] — the minimal JSON value model the workspace uses offline.
 //!
 //! ## Quick start
@@ -37,6 +39,7 @@ pub use dsm_apps as apps;
 pub use dsm_core as core;
 pub use dsm_fabric as fabric;
 pub use dsm_json as json;
+pub use dsm_mc as mc;
 pub use dsm_mem as mem;
 pub use dsm_net as net;
 pub use dsm_obs as obs;
@@ -45,7 +48,7 @@ pub use dsm_sim as sim;
 pub use dsm_stats as stats;
 
 pub use dsm_core::{
-    run_checked, run_experiment, run_parallel, run_sequential, touch_region, Dsm, DsmProgram,
-    ExperimentResult, FabricConfig, MemImage, Notify, Program, Protocol, RegionHint, RegionPolicy,
-    RegionReport, RunConfig,
+    run_checked, run_experiment, run_parallel, run_parallel_mc, run_sequential, touch_region, Dsm,
+    DsmProgram, ExperimentResult, FabricConfig, MemImage, Notify, Program, Protocol, RegionHint,
+    RegionPolicy, RegionReport, RunConfig,
 };

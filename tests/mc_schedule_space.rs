@@ -1,0 +1,87 @@
+//! Schedule-space exploration: golden counts and clean sweeps.
+//!
+//! The engine is deterministic, so exploration statistics are exact golden
+//! values, not flaky observations: a change here means the schedule space
+//! itself changed (new commit points, different tie sets) and must be
+//! understood, not papered over.
+
+use dsm::mc::{explore, program, McConfig};
+use dsm::Protocol;
+
+/// Satellite: canonical 2-node, 2-op message-passing program. One genuine
+/// commit-point tie exists (node 1's barrier-release delivery vs node 0's
+/// resume), giving exactly 2 unreduced schedules; sleep-set DPOR proves
+/// the two orders equivalent and explores exactly 1.
+#[test]
+fn msg_pass_golden_schedule_counts() {
+    let prog = program::msg_pass();
+
+    let mut raw = McConfig::new(Protocol::Sc);
+    raw.reduce = false;
+    raw.dedup = false;
+    let unreduced = explore(&raw, &prog);
+    assert!(unreduced.complete && unreduced.clean(), "{unreduced:?}");
+    assert_eq!(unreduced.schedules, 2, "unreduced schedule count changed");
+
+    let reduced = explore(&McConfig::new(Protocol::Sc), &prog);
+    assert!(reduced.complete && reduced.clean(), "{reduced:?}");
+    assert_eq!(reduced.schedules, 1, "DPOR schedule count changed");
+    assert!(
+        reduced.schedules < unreduced.schedules,
+        "reduction must be strict"
+    );
+    assert!(reduced.reduction_ratio() > 1.0);
+}
+
+/// The contended lock-counter program has 8 unreduced schedules (three
+/// binary ties: lock grant order, then per-round notice/resume orders);
+/// DPOR + state dedup collapse them to a single representative.
+#[test]
+fn lock_counter_golden_schedule_counts() {
+    let prog = program::lock_counter(2, 1);
+
+    let mut raw = McConfig::new(Protocol::Sc);
+    raw.reduce = false;
+    raw.dedup = false;
+    let unreduced = explore(&raw, &prog);
+    assert!(unreduced.complete && unreduced.clean(), "{unreduced:?}");
+    assert_eq!(unreduced.schedules, 8, "unreduced schedule count changed");
+
+    let reduced = explore(&McConfig::new(Protocol::Sc), &prog);
+    assert!(reduced.complete && reduced.clean(), "{reduced:?}");
+    assert_eq!(reduced.schedules, 1, "DPOR schedule count changed");
+}
+
+/// Tentpole acceptance: every protocol explores a bounded configuration
+/// with a nonzero fault budget to completion, with zero violations from
+/// the mirrors, the race detector, the literal value oracles, and the
+/// deadlock/livelock detectors — and a DPOR reduction ratio above 1.
+#[test]
+fn all_protocols_explore_faulty_msg_pass_clean() {
+    let prog = program::msg_pass();
+    for proto in Protocol::ALL {
+        let report = explore(&McConfig::new(proto).with_faults(1), &prog);
+        assert!(report.complete, "{proto:?} did not exhaust: {report:?}");
+        assert!(report.clean(), "{proto:?} found violations: {report:?}");
+        assert_eq!(report.deadlocks, 0, "{proto:?}: {report:?}");
+        assert!(
+            report.reduction_ratio() > 1.0,
+            "{proto:?} ratio {}",
+            report.reduction_ratio()
+        );
+        assert!(report.schedules >= 16, "{proto:?}: {}", report.schedules);
+    }
+}
+
+/// Clean sweep of the lock-contention program (no faults) on every
+/// protocol: lock handoff, notices, diffs/flushes and leases all get
+/// schedule-permuted and must stay legal.
+#[test]
+fn all_protocols_explore_lock_counter_clean() {
+    let prog = program::lock_counter(2, 2);
+    for proto in Protocol::ALL {
+        let report = explore(&McConfig::new(proto), &prog);
+        assert!(report.complete && report.clean(), "{proto:?}: {report:?}");
+        assert_eq!(report.deadlocks, 0);
+    }
+}

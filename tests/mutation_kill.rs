@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use dsm::core::{Mutation, Violation};
+use dsm::proto::{MutFabric, MUTATIONS};
 use dsm::{run_parallel, Dsm, DsmProgram, FabricConfig, MemImage, Protocol, RunConfig};
 
 const NODES: usize = 8;
@@ -147,114 +148,20 @@ fn clean_runs_have_no_violations() {
     }
 }
 
+/// Every registry row dies under its canonical (protocol, fabric) setup.
+/// The row data — which rule catches which mutation, and which fabric is
+/// needed to reach the site — lives in [`MUTATIONS`], shared with the
+/// model checker's exhaustive kill matrix (`tests/mc_exhaustive_kill.rs`).
 #[test]
-fn kill_drop_write_notice() {
-    assert_killed(
-        Protocol::Hlrc,
-        FabricConfig::ideal(),
-        Mutation::DropWriteNotice,
-        "lrc-notice-completeness",
-    );
-}
-
-#[test]
-fn kill_skip_diff_word() {
-    assert_killed(
-        Protocol::Hlrc,
-        FabricConfig::ideal(),
-        Mutation::SkipDiffWord,
-        "hlrc-diff-coverage",
-    );
-}
-
-#[test]
-fn kill_lock_stale_vt() {
-    assert_killed(
-        Protocol::Hlrc,
-        FabricConfig::ideal(),
-        Mutation::LockStaleVt,
-        "lrc-lock-stale-vt",
-    );
-}
-
-#[test]
-fn kill_sw_stale_version() {
-    assert_killed(
-        Protocol::SwLrc,
-        FabricConfig::ideal(),
-        Mutation::SwStaleVersion,
-        "sw-stale-version",
-    );
-}
-
-#[test]
-fn kill_sc_keep_reader() {
-    assert_killed(
-        Protocol::Sc,
-        FabricConfig::ideal(),
-        Mutation::ScKeepReader,
-        "sc-exclusive-with-readers",
-    );
-}
-
-#[test]
-fn kill_fabric_dup_deliver() {
-    assert_killed(
-        Protocol::Sc,
-        dup_fabric(),
-        Mutation::FabricDupDeliver,
-        "fabric-exactly-once",
-    );
-}
-
-#[test]
-fn kill_fabric_reorder() {
-    assert_killed(
-        Protocol::Sc,
-        reorder_fabric(),
-        Mutation::FabricReorder,
-        "fabric-in-order",
-    );
-}
-
-#[test]
-fn kill_hb_skip_barrier() {
-    assert_killed(
-        Protocol::Sc,
-        FabricConfig::ideal(),
-        Mutation::HbSkipBarrier,
-        "hb-race",
-    );
-}
-
-#[test]
-fn kill_td_lease_overrun() {
-    assert_killed(
-        Protocol::Tardis,
-        FabricConfig::ideal(),
-        Mutation::TdLeaseOverrun,
-        "td-lease-overrun",
-    );
-}
-
-#[test]
-fn kill_td_wts_stall() {
-    assert_killed(
-        Protocol::Tardis,
-        FabricConfig::ideal(),
-        Mutation::TdWtsStall,
-        "td-wts-monotone",
-    );
-}
-
-#[test]
-fn kill_td_wts_under_lease() {
-    assert_killed(
-        Protocol::Tardis,
-        FabricConfig::ideal(),
-        Mutation::TdWtsUnderLease,
-        "td-write-under-lease",
-    );
+fn kill_matrix_from_registry() {
+    for spec in MUTATIONS.iter() {
+        let fabric = match spec.fabric {
+            MutFabric::Ideal => FabricConfig::ideal(),
+            MutFabric::Dup => dup_fabric(),
+            MutFabric::Reorder => reorder_fabric(),
+        };
+        assert_killed(spec.protocol, fabric, spec.mutation, spec.rule);
+    }
 }
 
 /// The same mutations under the *other* LRC protocol still register: the
